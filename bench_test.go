@@ -1,0 +1,262 @@
+package cdrstoch
+
+// The benchmark harness: one benchmark (family) per table/figure of the
+// paper's evaluation, as indexed in DESIGN.md §3. Absolute times differ
+// from the paper's 1999 workstation, but each benchmark regenerates the
+// corresponding artifact's data: run with -v or use cmd/cdranalyze and
+// cmd/cdrsweep for the annotated/tabulated output. EXPERIMENTS.md records
+// representative results.
+
+import (
+	"testing"
+
+	"cdrstoch/internal/bitsim"
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/experiments"
+	"cdrstoch/internal/lump"
+	"cdrstoch/internal/markov"
+	"cdrstoch/internal/multigrid"
+	"cdrstoch/internal/passage"
+	"cdrstoch/internal/spmat"
+)
+
+// buildOrFatal builds a model for benchmarking.
+func buildOrFatal(b *testing.B, spec core.Spec) *core.Model {
+	b.Helper()
+	m, err := core.Build(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkFig3MatrixForm measures TPM assembly for the baseline model —
+// the paper's "Matrixformtime" annotation and the generator of Figure 3's
+// nonzero pattern (render it with cmd/tpmspy).
+func BenchmarkFig3MatrixForm(b *testing.B) {
+	spec := experiments.BaseSpec()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := core.Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(m.P.NNZ()), "nnz")
+	}
+}
+
+// benchPanel solves one figure panel per iteration and reports the BER so
+// the benchmark output doubles as the figure's headline number.
+func benchPanel(b *testing.B, spec core.Spec) {
+	m := buildOrFatal(b, spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := m.Solve(core.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(a.BER, "BER")
+		b.ReportMetric(float64(a.Multigrid.Cycles), "cycles")
+	}
+}
+
+// BenchmarkFig4 regenerates the two panels of Figure 4: stationary
+// phase-error analysis at low vs 4× eye jitter, counter length 8.
+func BenchmarkFig4LowNoise(b *testing.B)  { benchPanel(b, experiments.Fig4Spec(false)) }
+func BenchmarkFig4HighNoise(b *testing.B) { benchPanel(b, experiments.Fig4Spec(true)) }
+
+// BenchmarkFig5 regenerates the three panels of Figure 5: BER vs counter
+// overflow length at fixed noise, with the optimum at length 8.
+func BenchmarkFig5Counter2(b *testing.B)  { benchPanel(b, experiments.Fig5Spec(2)) }
+func BenchmarkFig5Counter8(b *testing.B)  { benchPanel(b, experiments.Fig5Spec(8)) }
+func BenchmarkFig5Counter32(b *testing.B) { benchPanel(b, experiments.Fig5Spec(32)) }
+
+// BenchmarkSolverComparison is experiment T1 (§Numerical Methods): the
+// classical iterations against the multilevel solver on the refined-grid
+// model where phase diffusion is slow.
+func BenchmarkSolverComparison(b *testing.B) {
+	spec, err := experiments.ScaledSpec(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := buildOrFatal(b, spec)
+	ch, err := m.Chain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tol = 1e-10
+	b.Run("power", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ch.StationaryPower(markov.Options{Tol: tol, MaxIter: 200000, Damping: 0.95})
+			if err != nil || !res.Converged {
+				b.Fatalf("power: %v %v", err, res)
+			}
+			b.ReportMetric(float64(res.Iterations), "sweeps")
+		}
+	})
+	b.Run("jacobi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ch.StationaryJacobi(markov.Options{Tol: tol, MaxIter: 200000, Damping: 0.8})
+			if err != nil || !res.Converged {
+				b.Fatalf("jacobi: %v %v", err, res)
+			}
+			b.ReportMetric(float64(res.Iterations), "sweeps")
+		}
+	})
+	b.Run("gauss-seidel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := ch.StationaryGaussSeidel(markov.Options{Tol: tol, MaxIter: 200000})
+			if err != nil || !res.Converged {
+				b.Fatalf("gs: %v %v", err, res)
+			}
+			b.ReportMetric(float64(res.Iterations), "sweeps")
+		}
+	})
+	b.Run("multigrid-w", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			parts, err := m.Hierarchy(4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := multigrid.New(m.P, parts,
+				multigrid.Config{Tol: tol, PreSmooth: 2, PostSmooth: 2, Cycle: multigrid.WCycle})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := s.Solve(nil)
+			if err != nil || !res.Converged {
+				b.Fatalf("mg: %v %v", err, res)
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+		}
+	})
+}
+
+// BenchmarkSolverScaling shows the paper's scaling claim: multigrid cycle
+// counts stay level as the grid refines while classical sweeps grow.
+func BenchmarkSolverScaling(b *testing.B) {
+	for _, refine := range []int{1, 2, 4} {
+		spec, err := experiments.ScaledSpec(refine)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := buildOrFatal(b, spec)
+		name := map[int]string{1: "grid64", 2: "grid128", 4: "grid256"}[refine]
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a, err := m.Solve(core.SolveOptions{Multigrid: multigrid.Config{Tol: 1e-10}})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(a.Multigrid.Cycles), "cycles")
+				b.ReportMetric(float64(m.NumStates()), "states")
+			}
+		})
+	}
+}
+
+// BenchmarkSlipMTBF is experiment T2: the mean time between cycle slips
+// via the stationary entry flux (scalable) and via dense first passage
+// (exact reference).
+func BenchmarkSlipMTBF(b *testing.B) {
+	spec := experiments.Fig5Spec(8)
+	m := buildOrFatal(b, spec)
+	a, err := m.Solve(core.SolveOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("flux", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res, err := m.SlipStats(a.Pi)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MeanTimeBetween, "bits-between-slips")
+		}
+	})
+	b.Run("dense-first-passage", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			times, err := passage.HittingTimesDense(m.P, m.SlipSet())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(times[m.LockedIndex()], "bits-to-first-slip")
+		}
+	})
+}
+
+// BenchmarkMonteCarloBER is experiment T3: the per-bit cost of the
+// simulation baseline, from which the infeasibility of 1e-12 BER
+// verification follows (see examples/mcvalidate).
+func BenchmarkMonteCarloBER(b *testing.B) {
+	spec := experiments.Fig4Spec(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bitsim.Run(bitsim.Config{Spec: spec, Bits: 200000, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BER, "BER-estimate")
+	}
+}
+
+// BenchmarkKronVsExplicit is the storage-representation ablation the paper
+// motivates ("hierarchical Kronecker algebra … makes it possible to
+// manipulate and store P even when the total state space is very large"):
+// one x·P product via the 5-term Kronecker descriptor against the explicit
+// CSR matrix.
+func BenchmarkKronVsExplicit(b *testing.B) {
+	m := buildOrFatal(b, experiments.BaseSpec())
+	d, err := m.BuildDescriptor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]float64, m.NumStates())
+	for i := range x {
+		x[i] = 1 / float64(len(x))
+	}
+	y := make([]float64, len(x))
+	b.Run("csr", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m.P.VecMul(y, x)
+		}
+		b.ReportMetric(float64(m.P.NNZ()*8*2), "approx-bytes")
+	})
+	b.Run("kron", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d.VecMul(y, x)
+		}
+	})
+}
+
+// BenchmarkGTHCoarsest measures the direct solve used at the bottom of the
+// multigrid hierarchy.
+func BenchmarkGTHCoarsest(b *testing.B) {
+	m := buildOrFatal(b, experiments.BaseSpec())
+	parts, err := m.Hierarchy(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Lump all the way down with uniform weights to obtain a coarsest-size
+	// stochastic matrix.
+	p := m.P
+	for _, part := range parts {
+		x := make([]float64, part.NumStates())
+		for i := range x {
+			x[i] = 1
+		}
+		lumped, err := lump.Lump(p, part, x)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p = lumped
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spmat.StationaryGTHCSR(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

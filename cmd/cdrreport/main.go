@@ -1,0 +1,110 @@
+// Command cdrreport regenerates the paper's entire evaluation in one run:
+// the Figure 4 panels (low/high eye jitter), the Figure 5 counter-length
+// sweep, the solver-comparison table of the Numerical Methods section,
+// the cycle-slip statistics, and the Monte Carlo feasibility argument —
+// printed as one consolidated report matching EXPERIMENTS.md.
+//
+//	go run ./cmd/cdrreport            # full report (~1 minute)
+//	go run ./cmd/cdrreport -quick     # skip the solver-scaling table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cdrstoch/internal/bitsim"
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "skip the solver-scaling table (the slowest section)")
+	flag.Parse()
+	start := time.Now()
+
+	fmt.Println("Stochastic Modeling and Performance Evaluation for Digital CDR Circuits")
+	fmt.Println("Demir & Feldmann, DATE 2000 — reproduction report")
+	fmt.Println()
+
+	section("Figure 3 — transition probability matrix structure")
+	m, err := core.Build(experiments.BaseSpec())
+	check(err)
+	n := m.NumStates()
+	fmt.Printf("TPM: %d states, %d nonzeros (%.3f%% dense), bandwidth %d, formed in %v\n",
+		n, m.P.NNZ(), 100*float64(m.P.NNZ())/float64(n)/float64(n), m.P.Bandwidth(), m.FormTime)
+	fmt.Println("(render with: go run ./cmd/tpmspy -preset base)")
+
+	section("Figure 4 — stationary phase-error analysis, low vs 4x eye jitter")
+	for _, high := range []bool{false, true} {
+		p, err := experiments.RunPanel(experiments.Fig4Spec(high))
+		check(err)
+		check(p.Annotate(os.Stdout))
+		fmt.Printf("  slips: flux %.3e /bit, mean time between %.3e bits\n\n",
+			p.Slip.Flux, p.Slip.MeanTimeBetween)
+	}
+
+	section("Figure 5 — BER vs loop-filter counter length (noise fixed)")
+	points, best, err := experiments.OptimalCounter(experiments.Fig5Spec, []int{1, 2, 4, 8, 16, 32})
+	check(err)
+	fmt.Printf("%-8s %12s %12s\n", "counter", "BER", "vs best")
+	for _, p := range points {
+		fmt.Printf("%-8d %12.3e %11.1fx\n", p.CounterLen, p.BER, p.BER/points[best].BER)
+	}
+	fmt.Printf("optimal counter length: %d\n", points[best].CounterLen)
+
+	if !*quick {
+		section("Numerical Methods — solver comparison under grid refinement")
+		for _, refine := range []int{2, 4} {
+			spec, err := experiments.ScaledSpec(refine)
+			check(err)
+			mm, err := core.Build(spec)
+			check(err)
+			fmt.Printf("grid 1/%d UI (%d states):\n", int(1/spec.GridStep+0.5), mm.NumStates())
+			rows, err := experiments.CompareSolvers(mm, 1e-10, 200000)
+			check(err)
+			check(experiments.WriteSolverTable(os.Stdout, rows))
+			fmt.Println()
+		}
+	}
+
+	section("Introduction — simulation infeasibility at SONET-class BER")
+	p, err := experiments.RunPanel(experiments.Fig4Spec(false))
+	check(err)
+	target := p.Analysis.BER
+	if target < 1e-14 {
+		target = 1e-14
+	}
+	bits, err := bitsim.BitsForTarget(target, 0.1)
+	check(err)
+	fmt.Printf("low-noise BER %.2e solved by analysis in %v;\n", p.Analysis.BER, p.Analysis.SolveTime)
+	fmt.Printf("resolving it by simulation to ±10%% needs ≈ %.1e bits.\n", bits)
+	mc, err := bitsim.RunParallel(bitsim.Config{
+		Spec: experiments.Fig4Spec(true), Bits: 1000000, Seed: 1,
+	}, 0)
+	check(err)
+	hp, err := experiments.RunPanel(experiments.Fig4Spec(true))
+	check(err)
+	agree := "inside"
+	if hp.Analysis.BER < mc.CILow || hp.Analysis.BER > mc.CIHigh {
+		agree = "outside"
+	}
+	fmt.Printf("high-noise cross-check: analysis %.3e %s the Monte Carlo 95%% interval [%.3e, %.3e]\n",
+		hp.Analysis.BER, agree, mc.CILow, mc.CIHigh)
+
+	fmt.Printf("\nReport completed in %v.\n", time.Since(start).Round(time.Millisecond))
+}
+
+func section(title string) {
+	fmt.Println("────────────────────────────────────────────────────────────────────")
+	fmt.Println(title)
+	fmt.Println("────────────────────────────────────────────────────────────────────")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cdrreport:", err)
+		os.Exit(1)
+	}
+}

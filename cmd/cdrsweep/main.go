@@ -1,0 +1,184 @@
+// Command cdrsweep runs parameter sweeps over the CDR model:
+//
+//	-sweep counter   BER vs loop-filter counter length (Figure 5)
+//	-sweep noise     BER vs eye-jitter standard deviation (Figure 4 axis)
+//	-sweep solver    solver comparison table vs grid refinement (§Numerical Methods)
+//
+// Each sweep prints one aligned table to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cdrstoch/internal/cliutil"
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("cdrsweep", flag.ExitOnError)
+	sf := cliutil.Bind(fs)
+	sweep := fs.String("sweep", "counter", "sweep kind: counter, noise, solver, grid")
+	values := fs.String("values", "", "comma-separated sweep values (defaults per sweep kind)")
+	tol := fs.Float64("tol", 1e-10, "solver tolerance (solver sweep)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	switch *sweep {
+	case "counter":
+		lengths := []int{1, 2, 4, 8, 16, 32}
+		if *values != "" {
+			var err error
+			lengths, err = parseInts(*values)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%-8s %12s %14s %10s %8s\n", "counter", "BER", "MTBS(bits)", "states", "cycles")
+		for _, l := range lengths {
+			spec, err := specWithCounter(sf, l)
+			if err != nil {
+				fatal(err)
+			}
+			p, err := experiments.RunPanel(spec)
+			if err != nil {
+				fatal(fmt.Errorf("counter %d: %w", l, err))
+			}
+			fmt.Printf("%-8d %12.3e %14.3e %10d %8d\n",
+				l, p.Analysis.BER, p.Slip.MeanTimeBetween,
+				p.Model.NumStates(), p.Analysis.Multigrid.Cycles)
+		}
+	case "noise":
+		sigmas := []float64{0.02, 0.04, 0.06, 0.08, 0.10}
+		if *values != "" {
+			var err error
+			sigmas, err = parseFloats(*values)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("%-8s %12s %14s %8s\n", "stdnw", "BER", "MTBS(bits)", "cycles")
+		for _, sig := range sigmas {
+			spec, err := sf.Spec()
+			if err != nil {
+				fatal(err)
+			}
+			spec.EyeJitter = dist.NewGaussian(0, sig)
+			p, err := experiments.RunPanel(spec)
+			if err != nil {
+				fatal(fmt.Errorf("stdnw %g: %w", sig, err))
+			}
+			fmt.Printf("%-8.3f %12.3e %14.3e %8d\n",
+				sig, p.Analysis.BER, p.Slip.MeanTimeBetween, p.Analysis.Multigrid.Cycles)
+		}
+	case "solver":
+		refines := []int{1, 2, 4}
+		if *values != "" {
+			var err error
+			refines, err = parseInts(*values)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		for _, r := range refines {
+			spec, err := experiments.ScaledSpec(r)
+			if err != nil {
+				fatal(err)
+			}
+			m, err := core.Build(spec)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("== grid 1/%d UI: %d states, %d nnz ==\n",
+				int(1/spec.GridStep+0.5), m.NumStates(), m.P.NNZ())
+			rows, err := experiments.CompareSolvers(m, *tol, 200000)
+			if err != nil {
+				fatal(err)
+			}
+			if err := experiments.WriteSolverTable(os.Stdout, rows); err != nil {
+				fatal(err)
+			}
+		}
+	case "grid":
+		denoms := []int{16, 32, 64, 128}
+		if *values != "" {
+			var err error
+			denoms, err = parseInts(*values)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		points, err := experiments.GridStudy(denoms, 0.0005, 0.012, 0.08, 8)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8s %10s %12s %8s %14s\n", "grid", "states", "BER", "cycles", "|dBER|")
+		prev := 0.0
+		for i, p := range points {
+			diff := "-"
+			if i > 0 {
+				diff = fmt.Sprintf("%.3e", abs(p.BER-prev))
+			}
+			fmt.Printf("1/%-6d %10d %12.3e %8d %14s\n", p.GridDenom, p.States, p.BER, p.Cycles, diff)
+			prev = p.BER
+		}
+	default:
+		fatal(fmt.Errorf("unknown sweep %q", *sweep))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// specWithCounter builds the flag spec with an overridden counter length,
+// honoring the fig5 preset.
+func specWithCounter(sf *cliutil.SpecFlags, l int) (core.Spec, error) {
+	if *sf.Preset == "fig5" || *sf.Preset == "" {
+		return experiments.Fig5Spec(l), nil
+	}
+	spec, err := sf.Spec()
+	if err != nil {
+		return core.Spec{}, err
+	}
+	spec.CounterLen = l
+	return spec, spec.Validate()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdrsweep:", err)
+	os.Exit(1)
+}

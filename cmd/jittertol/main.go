@@ -1,0 +1,89 @@
+// Command jittertol computes sinusoidal jitter tolerance: the largest
+// arcsine-distributed jitter amplitude the CDR tolerates while meeting a
+// BER target. It sweeps either noise slot of the model (the paper: one
+// can "mimic deterministic sinusoidally varying jitter by assigning the
+// amplitude distribution of n_r appropriately") and can sweep counter
+// lengths to show how the loop filter trades bandwidth against tolerance.
+//
+// Examples:
+//
+//	jittertol -preset fig5 -target 1e-6
+//	jittertol -slot drift -target 1e-6 -counters 2,8,32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cdrstoch/internal/cliutil"
+	"cdrstoch/internal/experiments"
+)
+
+func main() {
+	fs := flag.NewFlagSet("jittertol", flag.ExitOnError)
+	sf := cliutil.Bind(fs)
+	target := fs.Float64("target", 1e-6, "BER target")
+	slotName := fs.String("slot", "eye", "jitter injection slot: eye (n_w) or drift (n_r)")
+	maxAmp := fs.Float64("maxamp", 0.4, "maximum amplitude searched, UI")
+	tolUI := fs.Float64("resolution", 0.005, "bisection resolution, UI")
+	counters := fs.String("counters", "", "comma-separated counter lengths to sweep (empty = single run)")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	var slot experiments.SJSlot
+	switch *slotName {
+	case "eye":
+		slot = experiments.SJEye
+	case "drift":
+		slot = experiments.SJDrift
+	default:
+		fatal(fmt.Errorf("unknown slot %q", *slotName))
+	}
+
+	lengths := []int{0}
+	if *counters != "" {
+		lengths = nil
+		for _, part := range strings.Split(*counters, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fatal(fmt.Errorf("bad counter %q", part))
+			}
+			lengths = append(lengths, v)
+		}
+	}
+
+	fmt.Printf("Sinusoidal jitter tolerance at BER ≤ %.1e (slot: %s)\n", *target, *slotName)
+	fmt.Printf("%-8s %14s %14s\n", "counter", "tolerance(UI)", "base BER")
+	for _, l := range lengths {
+		spec, err := sf.Spec()
+		if err != nil {
+			fatal(err)
+		}
+		label := spec.CounterLen
+		if l > 0 {
+			spec.CounterLen = l
+			label = l
+			if err := spec.Validate(); err != nil {
+				fatal(err)
+			}
+		}
+		base, err := experiments.BERWithSJ(spec, 0, slot)
+		if err != nil {
+			fatal(err)
+		}
+		tol, err := experiments.JitterTolerance(spec, *target, slot, *maxAmp, *tolUI)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-8d %14.4f %14.3e\n", label, tol, base)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jittertol:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Command tpmspy renders the nonzero pattern of the CDR transition
+// probability matrix — the paper's Figure 3 — as ASCII art on stdout, or
+// as a PGM image / MatrixMarket file when an output path is given.
+//
+// Examples:
+//
+//	tpmspy -preset base -w 96 -h 48
+//	tpmspy -preset base -pgm fig3.pgm
+//	tpmspy -counter 2 -grid 16 -mm tpm.mtx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdrstoch/internal/cliutil"
+	"cdrstoch/internal/core"
+)
+
+func main() {
+	fs := flag.NewFlagSet("tpmspy", flag.ExitOnError)
+	sf := cliutil.Bind(fs)
+	w := fs.Int("w", 96, "ASCII pattern width in characters")
+	h := fs.Int("h", 48, "ASCII pattern height in characters")
+	pgm := fs.String("pgm", "", "write a 512x512 PGM image of the pattern to this path")
+	mm := fs.String("mm", "", "write the full matrix in MatrixMarket format to this path")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	spec, err := sf.Spec()
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.Build(spec)
+	if err != nil {
+		fatal(err)
+	}
+	n := m.NumStates()
+	fmt.Printf("TPM: %d x %d, %d nonzeros (%.4f%% dense), bandwidth %d\n",
+		n, n, m.P.NNZ(), 100*float64(m.P.NNZ())/float64(n)/float64(n), m.P.Bandwidth())
+
+	if *pgm != "" {
+		f, err := os.Create(*pgm)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.P.WritePGM(f, 512, 512); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *pgm)
+	}
+	if *mm != "" {
+		f, err := os.Create(*mm)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.P.WriteMatrixMarket(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *mm)
+	}
+	if *pgm == "" && *mm == "" {
+		fmt.Print(m.P.Pattern(*w, *h))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpmspy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Acquisition traces the loop's lock acquisition transient with the
+// chain's transient analysis: starting from a worst-case phase offset,
+// the per-bit error probability decays toward the stationary BER as the
+// state distribution mixes. The same machinery prices a burst-mode
+// preamble: how many bits must the receiver see before its error
+// probability is within 10% of steady state?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/markov"
+)
+
+func main() {
+	h := 1.0 / 32
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: 0.0005, Shape: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.625,
+		CorrectionStep:    1.0 / 16,
+		TransitionDensity: 0.5,
+		MaxRunLength:      4,
+		EyeJitter:         dist.NewGaussian(0, 0.08),
+		Drift:             drift,
+		CounterLen:        4,
+		Threshold:         0.5,
+	}
+	model, err := core.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analysis, err := model.Solve(core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := model.Chain()
+	if err != nil {
+		log.Fatal(err)
+	}
+	errProb := model.ErrorProbVector()
+
+	// Worst case: the loop wakes up 0.4 UI off, counter reset.
+	x0 := make([]float64, model.NumStates())
+	x0[model.StateIndex(0, spec.CounterLen-1, model.PhaseIndex(0.4))] = 1
+
+	fmt.Println("Acquisition from a 0.4 UI offset (per-bit error probability):")
+	fmt.Printf("%-8s %14s\n", "bit", "P(error)")
+	x := x0
+	printed := map[int]bool{}
+	checkpoints := []int{0, 10, 20, 40, 80, 160, 320, 640, 1280}
+	step := 0
+	for _, cp := range checkpoints {
+		var err2 error
+		x, err2 = ch.Evolve(x, cp-step)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		step = cp
+		p, err2 := markov.Expectation(x, errProb)
+		if err2 != nil {
+			log.Fatal(err2)
+		}
+		bar := int(math.Max(0, 40+4*math.Log10(p+1e-30)))
+		if bar > 60 {
+			bar = 60
+		}
+		fmt.Printf("%-8d %14.3e %s\n", cp, p, strings.Repeat("#", bar))
+		printed[cp] = true
+	}
+	fmt.Printf("\nStationary BER: %.3e\n", analysis.BER)
+
+	// Preamble length: expected cumulative errors over the first N bits,
+	// and the mixing time to within TV 0.05 of stationarity.
+	cum, err := ch.ExpectedCumulative(x0, errProb, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Expected bit errors in the first 1000 bits from cold start: %.3f\n", cum)
+	acq, err := model.AcquisitionTime(analysis.Pi, 0.4, 0.05, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Bits to mix within TV 0.05 of stationarity: %d\n", acq)
+}

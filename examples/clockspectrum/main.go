@@ -1,0 +1,82 @@
+// Clockspectrum computes the recovered clock's phase-noise spectrum
+// directly from the Markov model — the Fourier transform of the phase
+// autocorrelation the paper names as the follow-on computation after the
+// stationary solve. Sweeping the loop-filter counter length moves the
+// loop bandwidth, and the spectra show it: short counters track fast
+// (flat, wideband phase noise from dithering), long counters average
+// (noise concentrates at low frequency where the untracked wander lives).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"strings"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/experiments"
+)
+
+func main() {
+	freqs := make([]float64, 24)
+	for i := range freqs {
+		// Log-spaced from 1e-3 to 0.5 cycles/bit.
+		freqs[i] = math.Pow(10, -3+2.7*float64(i)/float64(len(freqs)-1))
+		if freqs[i] > 0.5 {
+			freqs[i] = 0.5
+		}
+	}
+
+	type row struct {
+		counter int
+		rms     float64
+		psd     []float64
+	}
+	var rows []row
+	for _, l := range []int{2, 8, 32} {
+		spec := experiments.Fig5Spec(l)
+		m, err := core.Build(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := m.Solve(core.SolveOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		psd, err := m.PhaseNoiseSpectrum(a.Pi, 1024, freqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marg := m.PhaseMarginal(a.Pi)
+		mu, v := 0.0, 0.0
+		for mi, p := range marg {
+			mu += p * m.PhaseValue(mi)
+		}
+		for mi, p := range marg {
+			d := m.PhaseValue(mi) - mu
+			v += p * d * d
+		}
+		rows = append(rows, row{counter: l, rms: math.Sqrt(v), psd: psd})
+	}
+
+	fmt.Println("Recovered clock phase-noise spectrum, UI²/(cycle/bit):")
+	fmt.Printf("%-12s", "freq (c/bit)")
+	for _, r := range rows {
+		fmt.Printf("  L=%-10d", r.counter)
+	}
+	fmt.Println()
+	for i, f := range freqs {
+		fmt.Printf("%-12.4f", f)
+		for _, r := range rows {
+			fmt.Printf("  %-12.3e", r.psd[i])
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("L=%-3d RMS phase error: %.4f UI  %s\n",
+			r.counter, r.rms, strings.Repeat("#", int(r.rms*400)))
+	}
+	fmt.Println("\nReading: the spectrum corner moves down as the counter lengthens —")
+	fmt.Println("the digital loop bandwidth is (transition density)·G/(2L) per bit.")
+}

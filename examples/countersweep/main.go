@@ -1,0 +1,45 @@
+// Countersweep reproduces the paper's Figure 5 experiment: the effect of
+// the loop-filter counter overflow length on BER, all noise levels held
+// constant. The paper's conclusion — reproduced here — is an interior
+// optimum: a short counter makes the loop bandwidth so high that it
+// follows the eye jitter n_w and dithers into errors; a long counter makes
+// the loop too slow to track the n_r drift; the best BER sits in between
+// (at length 8 for the calibrated noise levels).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdrstoch/internal/experiments"
+)
+
+func main() {
+	lengths := []int{1, 2, 4, 8, 16, 32}
+	fmt.Println("Figure 5: BER vs counter overflow length (noise fixed)")
+	fmt.Printf("%-8s %12s %12s %10s\n", "counter", "BER", "vs best", "states")
+
+	type row struct {
+		l      int
+		ber    float64
+		states int
+	}
+	var rows []row
+	best := -1.0
+	for _, l := range lengths {
+		p, err := experiments.RunPanel(experiments.Fig5Spec(l))
+		if err != nil {
+			log.Fatalf("counter %d: %v", l, err)
+		}
+		rows = append(rows, row{l, p.Analysis.BER, p.Model.NumStates()})
+		if best < 0 || p.Analysis.BER < best {
+			best = p.Analysis.BER
+		}
+	}
+	for _, r := range rows {
+		fmt.Printf("%-8d %12.3e %11.1fx %10d\n", r.l, r.ber, r.ber/best, r.states)
+	}
+	fmt.Println("\nPaper, §Examples: \"there is an optimal counter length for given")
+	fmt.Println("levels of noise, the computation of which is enabled by the accurate")
+	fmt.Println("and efficient analysis method described in the paper.\"")
+}

@@ -1,0 +1,77 @@
+// Freqacquisition demonstrates the second-order (phase + frequency) loop
+// extension: when the transmitter/receiver frequency offset exceeds the
+// proportional path's tracking capacity G/(2L), the first-order loop of
+// the paper lags toward the decision threshold; a frequency register with
+// one grid step of authority recovers the lock. It also shows the flip
+// side — a bang-bang integral path with too much authority hunts — so the
+// register range is a design parameter the analysis can sweep.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/freqloop"
+)
+
+func main() {
+	h := 1.0 / 32
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: 0.01, Shape: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.5,
+		CorrectionStep:    2 * h,
+		TransitionDensity: 0.5,
+		MaxRunLength:      2,
+		EyeJitter:         dist.NewGaussian(0, 0.06),
+		Drift:             drift,
+		CounterLen:        4,
+		Threshold:         0.5,
+	}
+	fmt.Printf("Frequency offset: %.4f UI/bit; proportional capacity G/(2L) = %.4f UI/bit\n\n",
+		drift.Mean(), base.CorrectionStep/float64(2*base.CounterLen))
+
+	// First-order reference.
+	first, err := core.Build(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	piF, err := first.SolveDirect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	margF := first.PhaseMarginal(piF)
+	lagF := 0.0
+	for mi, p := range margF {
+		lagF += p * first.PhaseValue(mi)
+	}
+	fmt.Printf("%-24s %10s %12s %12s %12s\n", "loop", "states", "BER", "mean lag", "freq comp")
+	fmt.Printf("%-24s %10d %12.3e %12.4f %12s\n", "first-order", first.NumStates(), first.BER(piF), lagF, "-")
+
+	// Second-order with increasing register authority.
+	for _, f := range []int{1, 2, 3} {
+		m, err := freqloop.Build(freqloop.Spec{Base: base, FreqLen: f, FreqStep: h})
+		if err != nil {
+			log.Fatal(err)
+		}
+		pi, _, err := m.Solve(1e-11, 500000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		marg := m.PhaseMarginal(pi)
+		lag := 0.0
+		for mi, p := range marg {
+			lag += p * m.PhaseValue(mi)
+		}
+		fmt.Printf("%-24s %10d %12.3e %12.4f %12.4f\n",
+			fmt.Sprintf("second-order F=%d", f), m.NumStates(), m.BER(pi), lag, m.MeanFreqCorrection(pi))
+	}
+	fmt.Println("\nReading: F = 1 compensates the offset and cuts the BER; larger")
+	fmt.Println("registers hunt (bang-bang integral paths trade lag for limit-cycle")
+	fmt.Println("amplitude), so more authority is worse once the drift is covered.")
+}

@@ -1,0 +1,86 @@
+// Interference models the paper's motivating industrial failure: "The
+// designers suspected that the main cause for the errors is the
+// interference noise in the PLL-based clock recovery circuit, induced by
+// the rest of the chip's circuitry." Interference arrives in correlated
+// bursts, not as a white background — so this example drives the CDR with
+// a Markov-modulated noise environment (quiet ↔ burst regimes), and
+// quantifies what white-noise analysis would get wrong: the average BER
+// matches a regime-weighted mixture, but frame errors cluster far below
+// the i.i.d. prediction, and the damage is concentrated in the bursts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/multigrid"
+	"cdrstoch/internal/regime"
+)
+
+func main() {
+	h := 1.0 / 32
+	base := core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.625,
+		CorrectionStep:    1.0 / 16,
+		TransitionDensity: 0.5,
+		MaxRunLength:      4,
+		CounterLen:        6,
+		Threshold:         0.5,
+	}
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: 0.0005, Shape: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Quiet: the design's nominal 0.04 UI eye jitter. Burst: supply/
+	// substrate interference triples the effective jitter for ~30-bit
+	// episodes arriving every ~600 bits.
+	spec := regime.Spec{
+		Base: base,
+		Regimes: []regime.Regime{
+			{Name: "quiet", EyeJitter: dist.NewGaussian(0, 0.04), Drift: drift},
+			{Name: "burst", EyeJitter: dist.NewGaussian(0, 0.12), Drift: drift},
+		},
+		Switch: [][]float64{
+			{1 - 1.0/600, 1.0 / 600},
+			{1.0 / 30, 1 - 1.0/30},
+		},
+	}
+	m, err := regime.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, res, err := m.Solve(multigrid.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	occ := m.RegimeMarginal(pi)
+	cond := m.ConditionalBER(pi)
+	total := m.BER(pi)
+	fmt.Printf("Model: %d states, solved in %d multigrid cycles\n\n", m.NumStates(), res.Cycles)
+	fmt.Printf("%-8s %12s %14s %16s\n", "regime", "occupancy", "cond. BER", "BER contribution")
+	for r, reg := range spec.Regimes {
+		fmt.Printf("%-8s %12.4f %14.3e %15.1f%%\n",
+			reg.Name, occ[r], cond[r], 100*occ[r]*cond[r]/total)
+	}
+	fmt.Printf("\nTotal BER: %.3e\n", total)
+
+	// What a white-noise analysis would conclude: same total BER, but
+	// errors spread evenly.
+	frame := 810 * 8
+	fer, err := m.FrameErrorRate(pi, frame)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iid := 1 - math.Pow(1-total, float64(frame))
+	fmt.Printf("\nSTS-1 frame (%d bits) error rate:\n", frame)
+	fmt.Printf("  exact (bursty):        %.4e\n", fer)
+	fmt.Printf("  i.i.d. at same BER:    %.4e\n", iid)
+	fmt.Printf("  clustering factor:     %.3f\n", fer/iid)
+	fmt.Println("\nBursts concentrate the errors: fewer frames are hit, but each hit")
+	fmt.Println("frame carries many errors — exactly the failure signature that white-")
+	fmt.Println("noise analysis misses and the paper's designers needed to predict.")
+}

@@ -1,0 +1,41 @@
+// Jittertolerance sweeps sinusoidal-jitter tolerance against the loop
+// filter length, exercising the paper's observation that deterministic
+// sinusoidal jitter is captured "by assigning the amplitude distribution
+// of n_r appropriately" (the arcsine law). Short counters tolerate more
+// accumulated (n_r-slot) jitter — the loop reacts fast enough to track
+// it — while eye-slot (n_w) jitter is untrackable by construction, so its
+// tolerance is set by the noise averaging of longer counters instead.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/experiments"
+)
+
+func main() {
+	const target = 1e-6
+	base := experiments.BaseSpec()
+	base.EyeJitter = dist.NewGaussian(0, 0.05)
+
+	fmt.Printf("Sinusoidal jitter tolerance at BER ≤ %.0e\n\n", target)
+	fmt.Printf("%-8s %22s %22s\n", "counter", "eye-slot tol (UI)", "drift-slot tol (UI)")
+	for _, l := range []int{2, 8, 32} {
+		spec := base
+		spec.CounterLen = l
+		eyeTol, err := experiments.JitterTolerance(spec, target, experiments.SJEye, 0.45, 0.005)
+		if err != nil {
+			log.Fatalf("counter %d eye: %v", l, err)
+		}
+		driftTol, err := experiments.JitterTolerance(spec, target, experiments.SJDrift, 0.45, 0.005)
+		if err != nil {
+			log.Fatalf("counter %d drift: %v", l, err)
+		}
+		fmt.Printf("%-8d %22.3f %22.3f\n", l, eyeTol, driftTol)
+	}
+	fmt.Println("\nReading: the drift-slot (accumulating) tolerance falls as the loop")
+	fmt.Println("filter lengthens — the loop becomes too slow to track the wander —")
+	fmt.Println("exactly the mechanism behind the paper's Figure 5 long-counter penalty.")
+}

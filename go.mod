@@ -1,0 +1,3 @@
+module cdrstoch
+
+go 1.22

@@ -1,0 +1,224 @@
+package bitsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// noisySpec returns a spec with BER large enough (~1e-2..1e-3) that a
+// modest Monte Carlo run resolves it.
+func noisySpec(t testing.TB) core.Spec {
+	t.Helper()
+	h := 1.0 / 16
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: h / 8, Shape: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.5,
+		CorrectionStep:    2 * h,
+		TransitionDensity: 0.5,
+		MaxRunLength:      3,
+		EyeJitter:         dist.NewGaussian(0, 0.15),
+		Drift:             drift,
+		CounterLen:        3,
+		Threshold:         0.5,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := Config{Spec: noisySpec(t), Bits: 0}
+	if _, err := Run(cfg); err == nil {
+		t.Error("zero bits accepted")
+	}
+	bad := noisySpec(t)
+	bad.GridStep = 0
+	if _, err := Run(Config{Spec: bad, Bits: 1000}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestMonteCarloMatchesAnalysis(t *testing.T) {
+	spec := noisySpec(t)
+	m, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := m.BER(pi)
+	if analytic < 1e-4 {
+		t.Fatalf("test spec BER too small to validate by MC: %g", analytic)
+	}
+	res, err := Run(Config{Spec: spec, Bits: 1000000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Allow 1.5× the Wilson half-width: the check is deterministic for a
+	// fixed seed; the slack absorbs the one-in-twenty seeds whose 95%
+	// interval just misses.
+	half := (res.CIHigh - res.CILow) / 2
+	if math.Abs(analytic-res.BER) > 1.5*half {
+		t.Fatalf("analytic BER %.3e vs MC %.3e ± %.1e", analytic, res.BER, half)
+	}
+}
+
+func TestMonteCarloPhaseHistogramMatchesStationary(t *testing.T) {
+	spec := noisySpec(t)
+	m, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	marg := m.PhaseMarginal(pi)
+	res, err := Run(Config{Spec: spec, Bits: 400000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total variation between empirical and analytic phase marginals.
+	tv := 0.0
+	for i := range marg {
+		tv += math.Abs(marg[i] - res.PhaseHistogram[i])
+	}
+	tv /= 2
+	if tv > 0.02 {
+		t.Fatalf("phase marginal TV distance %g", tv)
+	}
+}
+
+func TestMonteCarloSlipsMatchFlux(t *testing.T) {
+	spec := noisySpec(t)
+	m, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flux, err := m.SlipStats(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Spec: spec, Bits: 600000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlipEntries < 50 {
+		t.Fatalf("too few slips to compare: %d", res.SlipEntries)
+	}
+	ratio := res.MeanTimeBetweenSlips / flux.MeanTimeBetween
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Fatalf("MC MTBS %g vs flux %g (ratio %g)",
+			res.MeanTimeBetweenSlips, flux.MeanTimeBetween, ratio)
+	}
+}
+
+func TestReproducibility(t *testing.T) {
+	cfg := Config{Spec: noisySpec(t), Bits: 50000, Seed: 5}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Errors != b.Errors || a.SlipEntries != b.SlipEntries {
+		t.Fatal("same seed produced different counts")
+	}
+	cfg.Seed = 6
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Errors == a.Errors && c.SlipEntries == a.SlipEntries {
+		t.Log("different seed produced identical counts (possible but unlikely)")
+	}
+}
+
+func TestEyeSamplerLaws(t *testing.T) {
+	spec := noisySpec(t)
+	// Uniform law.
+	spec.EyeJitter = dist.NewUniform(-0.3, 0.3)
+	if _, err := Run(Config{Spec: spec, Bits: 20000, Seed: 1}); err != nil {
+		t.Errorf("uniform law rejected: %v", err)
+	}
+	// Sinusoidal law.
+	spec.EyeJitter = dist.NewSinusoidal(0.2)
+	if _, err := Run(Config{Spec: spec, Bits: 20000, Seed: 1}); err != nil {
+		t.Errorf("sinusoidal law rejected: %v", err)
+	}
+	// PMF law.
+	pmf, err := dist.Quantize(dist.NewGaussian(0, 0.15), spec.GridStep, -4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.EyeJitter = pmf
+	if _, err := Run(Config{Spec: spec, Bits: 20000, Seed: 1}); err != nil {
+		t.Errorf("PMF law rejected: %v", err)
+	}
+	// Unsupported law without an explicit sampler.
+	mix, err := dist.NewMixture([]dist.Continuous{dist.NewGaussian(0, 0.1)}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.EyeJitter = mix
+	if _, err := Run(Config{Spec: spec, Bits: 20000, Seed: 1}); err == nil {
+		t.Error("unsupported law accepted without sampler")
+	}
+	// ... but accepted with one.
+	if _, err := Run(Config{
+		Spec: spec, Bits: 20000, Seed: 1,
+		SampleEye: func(rng *rand.Rand) float64 { return 0.1 * rng.NormFloat64() },
+	}); err != nil {
+		t.Errorf("explicit sampler rejected: %v", err)
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := wilson(0, 0)
+	if lo != 0 || hi != 1 {
+		t.Error("empty trial interval")
+	}
+	lo, hi = wilson(0, 1000)
+	if lo != 0 {
+		t.Errorf("zero-error lower bound %g", lo)
+	}
+	if hi < 0.001 || hi > 0.01 {
+		t.Errorf("zero-error upper bound %g", hi)
+	}
+	lo, hi = wilson(500, 1000)
+	if lo > 0.5 || hi < 0.5 {
+		t.Errorf("interval [%g,%g] must contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.07 {
+		t.Errorf("interval too wide: %g", hi-lo)
+	}
+}
+
+func TestBitsForTarget(t *testing.T) {
+	bits, err := BitsForTarget(1e-12, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits < 1e14 || bits > 1e15 {
+		t.Fatalf("bits for 1e-12@10%% = %g", bits)
+	}
+	if _, err := BitsForTarget(0, 0.1); err == nil {
+		t.Error("ber=0 accepted")
+	}
+	if _, err := BitsForTarget(0.5, 0); err == nil {
+		t.Error("rel=0 accepted")
+	}
+}

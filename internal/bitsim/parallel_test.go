@@ -1,0 +1,90 @@
+package bitsim
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/core"
+)
+
+func TestRunParallelMatchesAnalysis(t *testing.T) {
+	spec := noisySpec(t)
+	m, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := m.BER(pi)
+	res, err := RunParallel(Config{Spec: spec, Bits: 1200000, Seed: 5}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := (res.CIHigh - res.CILow) / 2
+	if math.Abs(analytic-res.BER) > 2*half {
+		t.Fatalf("analytic %.3e vs parallel MC %.3e ± %.1e", analytic, res.BER, half)
+	}
+	if res.Bits != 1200000 {
+		t.Fatalf("merged bits = %d", res.Bits)
+	}
+}
+
+func TestRunParallelDeterministic(t *testing.T) {
+	cfg := Config{Spec: noisySpec(t), Bits: 200000, Seed: 9}
+	a, err := RunParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunParallel(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Errors != b.Errors || a.SlipEntries != b.SlipEntries {
+		t.Fatal("parallel run not deterministic for fixed (seed, workers)")
+	}
+}
+
+func TestRunParallelSingleWorkerEqualsSerial(t *testing.T) {
+	cfg := Config{Spec: noisySpec(t), Bits: 100000, Seed: 2}
+	serial, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallel(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Errors != par.Errors || serial.SlipEntries != par.SlipEntries {
+		t.Fatal("workers=1 diverges from serial Run")
+	}
+}
+
+func TestRunParallelHistogramNormalized(t *testing.T) {
+	res, err := RunParallel(Config{Spec: noisySpec(t), Bits: 300000, Seed: 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range res.PhaseHistogram {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("merged histogram mass %g", sum)
+	}
+}
+
+func TestRunParallelValidation(t *testing.T) {
+	if _, err := RunParallel(Config{Spec: noisySpec(t), Bits: 0}, 2); err == nil {
+		t.Error("zero bits accepted")
+	}
+	// More workers than bits collapses gracefully.
+	res, err := RunParallel(Config{Spec: noisySpec(t), Bits: 3, Seed: 1, WarmupBits: 1}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bits != 3 {
+		t.Fatalf("bits = %d", res.Bits)
+	}
+}

@@ -1,0 +1,65 @@
+package bitsim
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/core"
+)
+
+func TestMonteCarloWrapSlipsMatchAnalysis(t *testing.T) {
+	spec := noisySpec(t)
+	spec.WrapPhase = true
+	m, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate, mtbs, err := m.WrapSlipRate(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate <= 0 {
+		t.Fatalf("wrap slip rate %g", rate)
+	}
+	res, err := Run(Config{Spec: spec, Bits: 800000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlipEntries < 100 {
+		t.Fatalf("too few wrap slips to compare: %d", res.SlipEntries)
+	}
+	mcRate := float64(res.SlipEntries) / float64(res.Bits)
+	if ratio := mcRate / rate; ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("MC wrap rate %g vs analytic %g (ratio %g)", mcRate, rate, ratio)
+	}
+	if math.Abs(res.MeanTimeBetweenSlips-1/mcRate) > 0.01/mcRate {
+		t.Fatalf("MC MTBS %g inconsistent with rate %g", res.MeanTimeBetweenSlips, mcRate)
+	}
+	_ = mtbs
+}
+
+func TestMonteCarloWrapBERMatchesAnalysis(t *testing.T) {
+	spec := noisySpec(t)
+	spec.WrapPhase = true
+	m, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic := m.BER(pi)
+	res, err := Run(Config{Spec: spec, Bits: 1000000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := (res.CIHigh - res.CILow) / 2
+	if math.Abs(analytic-res.BER) > 2*half {
+		t.Fatalf("wrap analytic BER %.3e vs MC %.3e ± %.1e", analytic, res.BER, half)
+	}
+}

@@ -1,0 +1,100 @@
+// Package cliutil binds the CDR model specification to command-line flags
+// so that every tool in cmd/ exposes the same, consistently named knobs.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/experiments"
+)
+
+// SpecFlags holds the flag values that assemble a core.Spec.
+type SpecFlags struct {
+	Preset     *string
+	Counter    *int
+	StdNw      *float64
+	DriftMean  *float64
+	DriftMax   *float64
+	DriftShape *float64
+	GridDenom  *int
+	PhaseMax   *float64
+	CorrDenom  *int
+	Density    *float64
+	MaxRun     *int
+	Threshold  *float64
+}
+
+// Bind registers the spec flags on the given FlagSet.
+func Bind(fs *flag.FlagSet) *SpecFlags {
+	return &SpecFlags{
+		Preset: fs.String("preset", "", "experiment preset: fig4-low, fig4-high, fig5 (with -counter), base, default"),
+		Counter: fs.Int("counter", 8,
+			"loop-filter up/down counter overflow length L"),
+		StdNw: fs.Float64("stdnw", 0.02,
+			"eye-opening jitter n_w standard deviation in UI (Gaussian)"),
+		DriftMean: fs.Float64("drift-mean", 0.0002,
+			"n_r mean (frequency offset) in UI per bit"),
+		DriftMax: fs.Float64("drift-max", 2.0/64,
+			"n_r support bound MAXnr in UI"),
+		DriftShape: fs.Float64("drift-shape", 0.05,
+			"n_r geometric decay shape in (0,1]"),
+		GridDenom: fs.Int("grid", 64,
+			"phase grid resolution: step = 1/grid UI"),
+		PhaseMax: fs.Float64("phasemax", 0.75,
+			"phase grid half-span in UI"),
+		CorrDenom: fs.Int("corr", 16,
+			"phase correction step: G = 1/corr UI (number of selectable clock phases)"),
+		Density: fs.Float64("density", 0.5,
+			"data transition density"),
+		MaxRun: fs.Int("maxrun", 4,
+			"maximum run of identical bits (0 = unconstrained)"),
+		Threshold: fs.Float64("threshold", 0.5,
+			"decision threshold in UI"),
+	}
+}
+
+// Spec assembles and validates the model specification from the parsed
+// flags. Presets take precedence over individual knobs except -counter,
+// which composes with the fig5 preset.
+func (f *SpecFlags) Spec() (core.Spec, error) {
+	switch *f.Preset {
+	case "fig4-low":
+		return experiments.Fig4Spec(false), nil
+	case "fig4-high":
+		return experiments.Fig4Spec(true), nil
+	case "fig5":
+		return experiments.Fig5Spec(*f.Counter), nil
+	case "base":
+		return experiments.BaseSpec(), nil
+	case "default":
+		return core.DefaultSpec(), nil
+	case "":
+	default:
+		return core.Spec{}, fmt.Errorf("unknown preset %q", *f.Preset)
+	}
+	step := 1.0 / float64(*f.GridDenom)
+	drift, err := dist.DriftPMF(dist.DriftSpec{
+		Step:  step,
+		Max:   *f.DriftMax,
+		Mean:  *f.DriftMean,
+		Shape: *f.DriftShape,
+	})
+	if err != nil {
+		return core.Spec{}, err
+	}
+	s := core.Spec{
+		GridStep:          step,
+		PhaseMax:          *f.PhaseMax,
+		CorrectionStep:    1.0 / float64(*f.CorrDenom),
+		TransitionDensity: *f.Density,
+		MaxRunLength:      *f.MaxRun,
+		EyeJitter:         dist.NewGaussian(0, *f.StdNw),
+		Drift:             drift,
+		CounterLen:        *f.Counter,
+		Threshold:         *f.Threshold,
+	}
+	return s, s.Validate()
+}

@@ -1,0 +1,86 @@
+package cliutil
+
+import (
+	"flag"
+	"testing"
+)
+
+func parse(t *testing.T, args ...string) *SpecFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	sf := Bind(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return sf
+}
+
+func TestDefaultsProduceValidSpec(t *testing.T) {
+	sf := parse(t)
+	spec, err := sf.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CounterLen != 8 || spec.GridStep != 1.0/64 {
+		t.Errorf("defaults wrong: %+v", spec)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, preset := range []string{"fig4-low", "fig4-high", "fig5", "base", "default"} {
+		sf := parse(t, "-preset", preset)
+		spec, err := sf.Spec()
+		if err != nil {
+			t.Fatalf("preset %s: %v", preset, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("preset %s invalid: %v", preset, err)
+		}
+	}
+	sf := parse(t, "-preset", "nope")
+	if _, err := sf.Spec(); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestFig5PresetComposesWithCounter(t *testing.T) {
+	sf := parse(t, "-preset", "fig5", "-counter", "32")
+	spec, err := sf.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CounterLen != 32 {
+		t.Errorf("counter = %d", spec.CounterLen)
+	}
+}
+
+func TestCustomKnobs(t *testing.T) {
+	sf := parse(t,
+		"-counter", "4", "-stdnw", "0.05", "-grid", "32", "-corr", "8",
+		"-phasemax", "0.5", "-density", "0.3", "-maxrun", "2",
+		"-drift-mean", "0.001", "-drift-max", "0.0625", "-drift-shape", "0.2",
+	)
+	spec, err := sf.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.CounterLen != 4 || spec.GridStep != 1.0/32 || spec.CorrectionStep != 1.0/8 {
+		t.Errorf("knobs not honored: %+v", spec)
+	}
+	if spec.EyeJitter.Std() != 0.05 {
+		t.Error("stdnw not honored")
+	}
+}
+
+func TestInvalidKnobsRejected(t *testing.T) {
+	// Correction step not a grid multiple.
+	sf := parse(t, "-grid", "64", "-corr", "48")
+	if _, err := sf.Spec(); err == nil {
+		t.Error("non-multiple correction accepted")
+	}
+	// Unreachable drift mean.
+	sf = parse(t, "-drift-mean", "0.5", "-drift-max", "0.01")
+	if _, err := sf.Spec(); err == nil {
+		t.Error("unreachable drift mean accepted")
+	}
+}

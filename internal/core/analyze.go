@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/lump"
+	"cdrstoch/internal/markov"
+	"cdrstoch/internal/multigrid"
+	"cdrstoch/internal/passage"
+)
+
+// SolveOptions configures the stationary analysis.
+type SolveOptions struct {
+	// Multigrid configures the multilevel solver. The zero value selects
+	// robust defaults (W-cycles, 2+2 Gauss–Seidel smoothing, 1e−12).
+	Multigrid multigrid.Config
+	// MinSegLen stops the phase-pair coarsening once segments shrink to
+	// this many phase points. Default 4.
+	MinSegLen int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MinSegLen <= 0 {
+		o.MinSegLen = 4
+	}
+	cfg := &o.Multigrid
+	if cfg.Cycle == multigrid.VCycle && cfg.PreSmooth == 0 && cfg.PostSmooth == 0 {
+		cfg.Cycle = multigrid.WCycle
+		cfg.PreSmooth = 2
+		cfg.PostSmooth = 2
+	}
+	return o
+}
+
+// Analysis bundles the stationary solution and the performance measures
+// the paper reports for each figure panel.
+type Analysis struct {
+	// Pi is the stationary distribution over the product state space.
+	Pi []float64
+	// BER is the stationary probability of a detection error,
+	// P(|Φ + n_w| > Threshold).
+	BER float64
+	// Multigrid reports the solver statistics (cycles, residual, levels).
+	Multigrid multigrid.Result
+	// SolveTime is the wall-clock stationary-solve duration (the paper's
+	// "Solvetime" annotation).
+	SolveTime time.Duration
+}
+
+// Hierarchy builds the multigrid partition chain for this model. First,
+// pairs of consecutive phase grid points are lumped within every
+// (data, counter) segment — the paper's coarsening strategy — level after
+// level, until segments reach minSegLen points. Then, to keep the coarsest
+// problem small even for long loop-filter counters, coarsening continues
+// across the counter dimension (adjacent counter states merge
+// elementwise) until at most three counter states remain per data state.
+func (m *Model) Hierarchy(minSegLen int) ([]*lump.Partition, error) {
+	parts, err := multigrid.BuildPairHierarchy(m.M, m.D*m.C, minSegLen)
+	if err != nil {
+		return nil, err
+	}
+	segLen := m.M
+	for segLen > minSegLen {
+		segLen = (segLen + 1) / 2
+	}
+	counters := m.C
+	for counters > 3 {
+		part, err := lump.PairSegmentsElementwise(segLen, counters, m.D)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, part)
+		counters = (counters + 1) / 2
+	}
+	return parts, nil
+}
+
+// Solve computes the stationary distribution with the multilevel solver
+// and derives the standard performance measures.
+func (m *Model) Solve(opt SolveOptions) (*Analysis, error) {
+	opt = opt.withDefaults()
+	parts, err := m.Hierarchy(opt.MinSegLen)
+	if err != nil {
+		return nil, err
+	}
+	solver, err := multigrid.New(m.P, parts, opt.Multigrid)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := solver.Solve(nil)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if !res.Converged {
+		return nil, fmt.Errorf("core: multigrid did not converge: %v", res)
+	}
+	return &Analysis{
+		Pi:        res.Pi,
+		BER:       m.BER(res.Pi),
+		Multigrid: res,
+		SolveTime: elapsed,
+	}, nil
+}
+
+// SolveDirect computes the stationary distribution with dense GTH — exact,
+// subtraction-free, O(n³); for small models and cross-validation.
+func (m *Model) SolveDirect() ([]float64, error) {
+	ch, err := markov.New(m.P)
+	if err != nil {
+		return nil, err
+	}
+	return ch.StationaryDirect()
+}
+
+// BER integrates the tails of Φ + n_w beyond the decision threshold under
+// the given stationary distribution: for each phase value the eye jitter
+// tail probabilities are evaluated with deep-tail-safe CDF complements.
+func (m *Model) BER(pi []float64) float64 {
+	if len(pi) != m.NumStates() {
+		panic("core: BER distribution length mismatch")
+	}
+	marg := m.PhaseMarginal(pi)
+	t := m.Spec.Threshold
+	ber := 0.0
+	for mi, p := range marg {
+		if p == 0 {
+			continue
+		}
+		phi := m.PhaseValue(mi)
+		errProb := dist.TailBelow(m.Spec.EyeJitter, -t-phi) + dist.TailAbove(m.Spec.EyeJitter, t-phi)
+		ber += p * errProb
+	}
+	return ber
+}
+
+// PhaseMarginal returns the stationary marginal over the phase grid
+// (length M, sums to 1).
+func (m *Model) PhaseMarginal(pi []float64) []float64 {
+	out := make([]float64, m.M)
+	for idx, p := range pi {
+		out[idx%m.M] += p
+	}
+	return out
+}
+
+// CounterMarginal returns the stationary marginal over counter states
+// (length C).
+func (m *Model) CounterMarginal(pi []float64) []float64 {
+	out := make([]float64, m.C)
+	for idx, p := range pi {
+		out[(idx/m.M)%m.C] += p
+	}
+	return out
+}
+
+// DataMarginal returns the stationary marginal over data-source states
+// (length D).
+func (m *Model) DataMarginal(pi []float64) []float64 {
+	out := make([]float64, m.D)
+	for idx, p := range pi {
+		out[idx/(m.M*m.C)] += p
+	}
+	return out
+}
+
+// PhasePlusJitterPDF evaluates the density of Φ + n_w on a uniform grid of
+// n points spanning [lo, hi]: entry j is P(Φ + n_w ∈ bin_j)/width. This is
+// the second curve of the paper's Figure 4/5 panels (the PD's effective
+// input), whose tails beyond ±Threshold are the BER.
+func (m *Model) PhasePlusJitterPDF(pi []float64, lo, hi float64, n int) ([]float64, error) {
+	if n <= 0 || hi <= lo {
+		return nil, errors.New("core: bad evaluation grid")
+	}
+	marg := m.PhaseMarginal(pi)
+	width := (hi - lo) / float64(n)
+	out := make([]float64, n)
+	for mi, p := range marg {
+		if p == 0 {
+			continue
+		}
+		phi := m.PhaseValue(mi)
+		for j := 0; j < n; j++ {
+			a := lo + float64(j)*width
+			b := a + width
+			mass := m.Spec.EyeJitter.CDF(b-phi) - m.Spec.EyeJitter.CDF(a-phi)
+			out[j] += p * mass / width
+		}
+	}
+	return out, nil
+}
+
+// PhasePDF returns the stationary phase-error density: marginal
+// probability per grid cell divided by the grid step (first curve of the
+// figure panels).
+func (m *Model) PhasePDF(pi []float64) []float64 {
+	marg := m.PhaseMarginal(pi)
+	for i := range marg {
+		marg[i] /= m.Spec.GridStep
+	}
+	return marg
+}
+
+// SlipSet marks the states whose phase error has reached the decision
+// threshold: |Φ| ≥ Threshold. Reaching it means the loop is about to
+// re-lock onto a neighboring bit (a cycle slip).
+func (m *Model) SlipSet() []bool {
+	out := make([]bool, m.NumStates())
+	for idx := range out {
+		phi := m.PhaseValue(idx % m.M)
+		if phi >= m.Spec.Threshold || phi <= -m.Spec.Threshold {
+			out[idx] = true
+		}
+	}
+	return out
+}
+
+// SlipStats computes the stationary entry flux into the slip set and the
+// implied mean time between cycle slips (in bit periods).
+func (m *Model) SlipStats(pi []float64) (passage.FluxResult, error) {
+	return passage.SlipFlux(m.P, pi, m.SlipSet())
+}
+
+// WrapSlipRate returns the stationary probability per bit that the phase
+// error wraps across the ±0.5 UI boundary — the exact cycle-slip rate of
+// a WrapPhase model — together with the implied mean time between slips.
+// It errors on saturating models, whose slip measure is SlipStats.
+func (m *Model) WrapSlipRate(pi []float64) (rate, meanTimeBetween float64, err error) {
+	if m.wrapSlip == nil {
+		return 0, 0, errors.New("core: WrapSlipRate requires a WrapPhase model")
+	}
+	if len(pi) != m.NumStates() {
+		return 0, 0, errors.New("core: distribution length mismatch")
+	}
+	for i, p := range pi {
+		rate += p * m.wrapSlip[i]
+	}
+	if rate <= 0 {
+		return rate, math.Inf(1), nil
+	}
+	return rate, 1 / rate, nil
+}
+
+// SlipQuasiStationary computes the quasi-stationary distribution and the
+// asymptotic slip hazard: conditioned on never having slipped, the loop
+// settles into ν and slips with probability HazardPerStep each bit. The
+// conditioned BER m.BER(ν) is the error rate of a link that is restarted
+// on every slip.
+func (m *Model) SlipQuasiStationary() (passage.QuasiStationaryResult, error) {
+	return passage.QuasiStationary(m.P, m.SlipSet(), 1e-12, 500000)
+}
+
+// MeanTimeToSlip solves the expected first-passage time (in bit periods)
+// from the locked state to the slip set with the dense solver. Feasible
+// for models up to a few thousand states; larger models should use
+// SlipStats.
+func (m *Model) MeanTimeToSlip() (float64, error) {
+	times, err := passage.HittingTimesDense(m.P, m.SlipSet())
+	if err != nil {
+		return 0, err
+	}
+	return times[m.LockedIndex()], nil
+}
+
+// Chain wraps the TPM in a markov.Chain for structural queries and
+// classical solvers.
+func (m *Model) Chain() (*markov.Chain, error) { return markov.New(m.P) }
+
+// FigureHeader renders the annotation line the paper prints above each
+// figure panel: counter length, n_w standard deviation, max |n_r| and BER.
+func (m *Model) FigureHeader(ber float64) string {
+	return fmt.Sprintf("COUNTER: %d  STDnw: %.1e  MAXnr: %.1e  BER: %.1e",
+		m.Spec.CounterLen, m.Spec.EyeJitter.Std(), m.Spec.Drift.MaxAbs(), ber)
+}
+
+// FigureFooter renders the annotation line below each panel: state-space
+// size, multigrid cycles, matrix formation time and solve time in minutes.
+func (m *Model) FigureFooter(a *Analysis) string {
+	return fmt.Sprintf("Size: %d  Iter: %d  Matrixformtime: %.2f mins  Solvetime: %.2f mins",
+		m.NumStates(), a.Multigrid.Cycles, m.FormTime.Minutes(), a.SolveTime.Minutes())
+}
+
+// Describe returns a multi-line summary of the model dimensions.
+func (m *Model) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CDR model: %d states (data %d × counter %d × phase %d)\n",
+		m.NumStates(), m.D, m.C, m.M)
+	fmt.Fprintf(&b, "  grid step %.5f UI on ±%.3f UI, correction %.5f UI\n",
+		m.Spec.GridStep, m.Spec.PhaseMax, m.Spec.CorrectionStep)
+	fmt.Fprintf(&b, "  transition density %.2f, max run %d, counter length %d\n",
+		m.Spec.TransitionDensity, m.Spec.MaxRunLength, m.Spec.CounterLen)
+	fmt.Fprintf(&b, "  n_w std %.4g UI, n_r mean %.4g max %.4g UI\n",
+		m.Spec.EyeJitter.Std(), m.Spec.Drift.Mean(), m.Spec.Drift.MaxAbs())
+	fmt.Fprintf(&b, "  TPM nnz %d, bandwidth %d", m.P.NNZ(), m.P.Bandwidth())
+	return b.String()
+}

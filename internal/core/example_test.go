@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// Example builds a small CDR model, solves it exactly, and prints the
+// headline measures — the library's minimal end-to-end path.
+func Example() {
+	h := 1.0 / 16
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: h / 16, Shape: 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.5,
+		CorrectionStep:    2 * h,
+		TransitionDensity: 0.5,
+		MaxRunLength:      2,
+		EyeJitter:         dist.NewGaussian(0, 0.08),
+		Drift:             drift,
+		CounterLen:        3,
+		Threshold:         0.5,
+	}
+	model, err := core.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, err := model.SolveDirect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("states: %d\n", model.NumStates())
+	fmt.Printf("BER:    %.2e\n", model.BER(pi))
+	// Output:
+	// states: 170
+	// BER:    8.10e-04
+}
+
+// ExampleModel_Bathtub evaluates the BER at off-center sampling points.
+func ExampleModel_Bathtub() {
+	h := 1.0 / 16
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: 0, Shape: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.5,
+		CorrectionStep:    2 * h,
+		TransitionDensity: 0.5,
+		MaxRunLength:      2,
+		EyeJitter:         dist.NewGaussian(0, 0.1),
+		Drift:             drift,
+		CounterLen:        2,
+		Threshold:         0.5,
+	}
+	model, err := core.Build(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, err := model.SolveDirect()
+	if err != nil {
+		log.Fatal(err)
+	}
+	offsets, ber, err := model.Bathtub(pi, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range offsets {
+		fmt.Printf("offset %+.1f UI: BER %.0e\n", offsets[i], ber[i])
+	}
+	// Output:
+	// offset -0.5 UI: BER 5e-01
+	// offset +0.0 UI: BER 2e-03
+	// offset +0.5 UI: BER 5e-01
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/dist"
+)
+
+func solvedTiny(t *testing.T) (*Model, []float64) {
+	t.Helper()
+	m := buildTiny(t)
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, pi
+}
+
+func TestBERAtOffsetCenterMatchesBER(t *testing.T) {
+	m, pi := solvedTiny(t)
+	if d := math.Abs(m.BERAtOffset(pi, 0) - m.BER(pi)); d > 1e-18 {
+		t.Fatalf("centered offset BER differs by %g", d)
+	}
+}
+
+func TestBathtubShape(t *testing.T) {
+	m, pi := solvedTiny(t)
+	offsets, ber, err := m.Bathtub(pi, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 41 || len(ber) != 41 {
+		t.Fatal("bathtub length")
+	}
+	center := 20
+	// Walls must rise monotonically-ish from the floor: the edge values
+	// must dominate the center by orders of magnitude.
+	if ber[0] < 10*ber[center] || ber[40] < 10*ber[center] {
+		t.Fatalf("bathtub walls too low: %g / %g / %g", ber[0], ber[center], ber[40])
+	}
+	// The curve is a valid probability everywhere.
+	for i, b := range ber {
+		if b < 0 || b > 1 {
+			t.Fatalf("ber[%d] = %g", i, b)
+		}
+	}
+	if _, _, err := m.Bathtub(pi, 2); err == nil {
+		t.Error("degenerate bathtub accepted")
+	}
+}
+
+func TestEyeOpening(t *testing.T) {
+	m, pi := solvedTiny(t)
+	floor := m.BER(pi)
+	open, err := m.EyeOpening(pi, 100*floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open <= 0 || open > 2*m.Spec.Threshold {
+		t.Fatalf("eye opening %g UI", open)
+	}
+	// A looser target opens the eye wider.
+	wider, err := m.EyeOpening(pi, 1e4*floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wider < open {
+		t.Fatalf("eye narrowed with looser target: %g -> %g", open, wider)
+	}
+	// Unreachable target: zero opening.
+	closed, err := m.EyeOpening(pi, floor/10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if closed != 0 {
+		t.Fatalf("impossible target gave opening %g", closed)
+	}
+	if _, err := m.EyeOpening(pi, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestCorrectionActivityBalancesDrift(t *testing.T) {
+	m, pi := solvedTiny(t)
+	act := m.CorrectionActivity(pi)
+	if act.UpRate <= 0 || act.DownRate <= 0 {
+		t.Fatalf("degenerate activity: %+v", act)
+	}
+	// At equilibrium (away from grid saturation) the net correction per
+	// bit cancels the n_r drift mean. The tiny model saturates a little,
+	// so allow 20% slack.
+	driftMean := m.Spec.Drift.Mean()
+	if math.Abs(act.NetUIPerBit+driftMean) > 0.2*driftMean {
+		t.Fatalf("net correction %.6g does not balance drift %.6g",
+			act.NetUIPerBit, driftMean)
+	}
+}
+
+func TestPhaseAutocorrelationDecays(t *testing.T) {
+	m, pi := solvedTiny(t)
+	rho, err := m.PhaseAutocorrelation(pi, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho[0]-1) > 1e-12 {
+		t.Fatalf("rho(0) = %g", rho[0])
+	}
+	if math.Abs(rho[50]) > 0.5*math.Abs(rho[1]) {
+		t.Fatalf("autocorrelation failed to decay: rho(1)=%g rho(50)=%g", rho[1], rho[50])
+	}
+}
+
+func TestPhaseNoiseSpectrum(t *testing.T) {
+	m, pi := solvedTiny(t)
+	freqs := []float64{0.01, 0.05, 0.2, 0.5}
+	psd, err := m.PhaseNoiseSpectrum(pi, 400, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range psd {
+		if s < 0 || math.IsNaN(s) {
+			t.Fatalf("psd[%d] = %g", i, s)
+		}
+	}
+	// The loop tracks slowly and dithers: phase noise concentrates at low
+	// frequencies, so the lowest bin dominates the Nyquist bin.
+	if psd[0] <= psd[len(psd)-1] {
+		t.Fatalf("no low-frequency dominance: %v", psd)
+	}
+	// Parseval-style sanity: integrating S over (0, 0.5] with the window
+	// recovers the stationary variance within a factor ~2 (windowing and
+	// coarse frequency sampling).
+	marg := m.PhaseMarginal(pi)
+	mu, varSum := 0.0, 0.0
+	for mi, p := range marg {
+		mu += p * m.PhaseValue(mi)
+	}
+	for mi, p := range marg {
+		d := m.PhaseValue(mi) - mu
+		varSum += p * d * d
+	}
+	grid := 64
+	fs := make([]float64, grid)
+	for i := range fs {
+		fs[i] = 0.5 * float64(i+1) / float64(grid)
+	}
+	dense, err := m.PhaseNoiseSpectrum(pi, 400, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	integral := 0.0
+	for _, s := range dense {
+		integral += s * (0.5 / float64(grid)) * 2 // one-sided → total power
+	}
+	if integral < varSum/3 || integral > varSum*3 {
+		t.Fatalf("spectrum integral %g vs variance %g", integral, varSum)
+	}
+	if _, err := m.PhaseNoiseSpectrum(pi, 0, freqs); err == nil {
+		t.Error("zero maxLag accepted")
+	}
+}
+
+func TestErrorProbVectorMatchesBER(t *testing.T) {
+	m, pi := solvedTiny(t)
+	e := m.ErrorProbVector()
+	acc := 0.0
+	for i, p := range pi {
+		acc += p * e[i]
+	}
+	if d := math.Abs(acc - m.BER(pi)); d > 1e-15 {
+		t.Fatalf("E[errorProb] differs from BER by %g", d)
+	}
+}
+
+func TestFrameErrorRate(t *testing.T) {
+	m, pi := solvedTiny(t)
+	ber := m.BER(pi)
+	for _, frame := range []int{1, 64, 512} {
+		fer, err := m.FrameErrorRate(pi, frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fer <= 0 || fer >= 1 {
+			t.Fatalf("frame %d: FER = %g", frame, fer)
+		}
+		// FER is bounded by the union bound n·BER and is at least the
+		// single-bit error probability.
+		if fer > float64(frame)*ber*1.0000001 {
+			t.Fatalf("frame %d: FER %g exceeds union bound %g", frame, fer, float64(frame)*ber)
+		}
+		if frame == 1 && math.Abs(fer-ber) > 1e-15 {
+			t.Fatalf("single-bit FER %g != BER %g", fer, ber)
+		}
+	}
+	if _, err := m.FrameErrorRate(pi, 0); err == nil {
+		t.Error("zero frame accepted")
+	}
+}
+
+func TestFrameErrorsCluster(t *testing.T) {
+	// Errors correlate through the loop state, so the exact FER must be
+	// at most the i.i.d. estimate (clustering lowers the chance that a
+	// frame is hit at least once, at fixed BER).
+	m, pi := solvedTiny(t)
+	ber := m.BER(pi)
+	frame := 256
+	fer, err := m.FrameErrorRate(pi, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid := 1 - math.Pow(1-ber, float64(frame))
+	if fer > iid*1.001 {
+		t.Fatalf("FER %g exceeds i.i.d. estimate %g: errors anti-cluster?", fer, iid)
+	}
+}
+
+func TestAcquisitionTime(t *testing.T) {
+	m, pi := solvedTiny(t)
+	// Starting far from lock takes longer than starting at lock.
+	far, err := m.AcquisitionTime(pi, 0.4, 0.05, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := m.AcquisitionTime(pi, 0, 0.05, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far <= near {
+		t.Fatalf("acquisition from 0.4 UI (%d) not slower than from lock (%d)", far, near)
+	}
+}
+
+// TestLaplaceTailsDominateBER: swapping the Gaussian eye jitter for a
+// Laplace law at the same RMS must raise the BER — the tail-shape
+// sensitivity that makes jitter *distribution* (not just RMS) part of a
+// link budget.
+func TestLaplaceTailsDominateBER(t *testing.T) {
+	// A fine-grid, quiet configuration: the stationary phase stays within
+	// ~±0.1 UI, so the BER is pure eye-jitter tail mass at the threshold
+	// — where the two laws differ by >15 orders of magnitude at 0.04 UI
+	// RMS. (The coarse tiny model would hide this behind phase-excursion
+	// mass.)
+	s := DefaultSpec()
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: s.GridStep, Max: 2 * s.GridStep, Mean: 0.0002, Shape: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Drift = drift
+	ber := func(eye dist.Continuous) float64 {
+		s2 := s
+		s2.EyeJitter = eye
+		m, err := Build(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.BER
+	}
+	berG := ber(dist.NewGaussian(0, 0.04))
+	berL := ber(dist.LaplaceFromStd(0.04))
+	if berG > 1e-12 {
+		t.Fatalf("Gaussian BER %g unexpectedly large", berG)
+	}
+	if berL < 1e-9 {
+		t.Fatalf("Laplace BER %g unexpectedly small", berL)
+	}
+	if berL < 1e3*berG {
+		t.Fatalf("tail-shape separation missing: Laplace %g vs Gaussian %g", berL, berG)
+	}
+}
+
+func TestSumLawEyeJitter(t *testing.T) {
+	// Adding a sinusoidal-jitter PMF to the eye law must raise the BER.
+	s := tinySpec(t)
+	base, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piBase, err := base.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := dist.Quantize(dist.NewSinusoidal(0.15), s.GridStep, -4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	law, err := dist.NewSumLaw(s.EyeJitter, sj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := s
+	s2.EyeJitter = law
+	withSJ, err := Build(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piSJ, err := withSJ.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withSJ.BER(piSJ) <= base.BER(piBase) {
+		t.Fatalf("sinusoidal jitter did not degrade BER: %g vs %g",
+			withSJ.BER(piSJ), base.BER(piBase))
+	}
+}

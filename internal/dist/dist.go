@@ -1,0 +1,445 @@
+// Package dist provides the probability distributions that drive the CDR
+// stochastic model: continuous laws with exact CDFs for the eye-opening
+// jitter n_w, and grid-aligned discrete PMFs for the accumulating noise n_r
+// (the paper requires n_r to live on the phase-error discretization grid so
+// that its "small jumps in phase error" are captured exactly).
+//
+// Two noise inputs appear in the paper's difference equations:
+//
+//	Φ_{k+1} = Φ_k − f(Φ_k + n_w(k), S_k) + n_r(k)
+//
+// n_w is zero-mean white noise (usually Gaussian) modeling the data eye
+// opening; it only ever enters through probabilities of threshold crossings,
+// so it is represented by a Continuous law with an exact CDF and never
+// discretized. n_r is white with (usually) nonzero mean; it shifts the
+// phase-error state directly and therefore must be a PMF on grid multiples.
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Continuous is a real-valued law with an exact CDF. The model only needs
+// CDF evaluations (threshold-crossing probabilities, BER tail masses), so
+// this minimal interface suffices for Gaussian, uniform, sinusoidal and
+// user-supplied jitter laws alike.
+type Continuous interface {
+	// CDF returns P(X ≤ x).
+	CDF(x float64) float64
+	// Mean returns E[X].
+	Mean() float64
+	// Std returns the standard deviation of X.
+	Std() float64
+}
+
+// Gaussian is the normal law N(mu, sigma²).
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// NewGaussian returns a Gaussian with the given mean and standard deviation.
+// Sigma must be positive.
+func NewGaussian(mu, sigma float64) Gaussian {
+	if sigma <= 0 {
+		panic("dist: Gaussian sigma must be positive")
+	}
+	return Gaussian{Mu: mu, Sigma: sigma}
+}
+
+// CDF returns the normal CDF via the error function.
+func (g Gaussian) CDF(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// Mean returns mu.
+func (g Gaussian) Mean() float64 { return g.Mu }
+
+// Std returns sigma.
+func (g Gaussian) Std() float64 { return g.Sigma }
+
+// TailAbove returns P(X > x) computed without cancellation for deep tails,
+// which matters when BER ~ 1e−14 comes from Gaussian tails.
+func (g Gaussian) TailAbove(x float64) float64 {
+	return 0.5 * math.Erfc((x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// TailBelow returns P(X ≤ x) with the same deep-tail accuracy as TailAbove.
+func (g Gaussian) TailBelow(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-g.Mu)/(g.Sigma*math.Sqrt2))
+}
+
+// Uniform is the continuous uniform law on [A, B].
+type Uniform struct {
+	A, B float64
+}
+
+// NewUniform returns a Uniform on [a, b], a < b.
+func NewUniform(a, b float64) Uniform {
+	if a >= b {
+		panic("dist: Uniform requires a < b")
+	}
+	return Uniform{A: a, B: b}
+}
+
+// CDF returns the uniform CDF.
+func (u Uniform) CDF(x float64) float64 {
+	switch {
+	case x <= u.A:
+		return 0
+	case x >= u.B:
+		return 1
+	default:
+		return (x - u.A) / (u.B - u.A)
+	}
+}
+
+// Mean returns (A+B)/2.
+func (u Uniform) Mean() float64 { return (u.A + u.B) / 2 }
+
+// Std returns (B−A)/√12.
+func (u Uniform) Std() float64 { return (u.B - u.A) / math.Sqrt(12) }
+
+// Sinusoidal is the law of A·sin(θ) with θ uniform — the amplitude
+// distribution of deterministic sinusoidal jitter. The paper notes that
+// sinusoidally varying jitter can be mimicked "by assigning the amplitude
+// distribution of n_r appropriately"; this is that distribution (arcsine).
+type Sinusoidal struct {
+	Amp float64
+}
+
+// NewSinusoidal returns the arcsine law of amplitude amp > 0.
+func NewSinusoidal(amp float64) Sinusoidal {
+	if amp <= 0 {
+		panic("dist: Sinusoidal amplitude must be positive")
+	}
+	return Sinusoidal{Amp: amp}
+}
+
+// CDF returns the arcsine CDF 1/2 + asin(x/A)/π.
+func (s Sinusoidal) CDF(x float64) float64 {
+	switch {
+	case x <= -s.Amp:
+		return 0
+	case x >= s.Amp:
+		return 1
+	default:
+		return 0.5 + math.Asin(x/s.Amp)/math.Pi
+	}
+}
+
+// Mean returns 0.
+func (s Sinusoidal) Mean() float64 { return 0 }
+
+// Std returns A/√2.
+func (s Sinusoidal) Std() float64 { return s.Amp / math.Sqrt2 }
+
+// Mixture is a finite mixture of continuous laws, used to combine several
+// jitter specifications (e.g. random plus sinusoidal) into one eye-opening
+// law without losing the exact-CDF property.
+type Mixture struct {
+	comps   []Continuous
+	weights []float64
+}
+
+// NewMixture builds a mixture; weights must be non-negative and sum to a
+// positive total (they are normalized internally).
+func NewMixture(comps []Continuous, weights []float64) (*Mixture, error) {
+	if len(comps) == 0 || len(comps) != len(weights) {
+		return nil, errors.New("dist: mixture needs matching, non-empty components and weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, errors.New("dist: negative mixture weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, errors.New("dist: mixture weights sum to zero")
+	}
+	norm := make([]float64, len(weights))
+	for i, w := range weights {
+		norm[i] = w / total
+	}
+	return &Mixture{comps: comps, weights: norm}, nil
+}
+
+// CDF returns the weighted component CDF.
+func (m *Mixture) CDF(x float64) float64 {
+	s := 0.0
+	for i, c := range m.comps {
+		s += m.weights[i] * c.CDF(x)
+	}
+	return s
+}
+
+// Mean returns the weighted component mean.
+func (m *Mixture) Mean() float64 {
+	s := 0.0
+	for i, c := range m.comps {
+		s += m.weights[i] * c.Mean()
+	}
+	return s
+}
+
+// Std returns the mixture standard deviation (law of total variance).
+func (m *Mixture) Std() float64 {
+	mu := m.Mean()
+	v := 0.0
+	for i, c := range m.comps {
+		d := c.Mean() - mu
+		v += m.weights[i] * (c.Std()*c.Std() + d*d)
+	}
+	return math.Sqrt(v)
+}
+
+// PMF is a discrete law on grid-aligned support: outcome k has value
+// k·Step + Origin and probability Prob[k−MinK]. All model-facing discrete
+// noise is expressed this way so that state transitions land exactly on
+// grid points.
+type PMF struct {
+	// Step is the grid spacing; every support point is an integer multiple
+	// of Step away from Origin.
+	Step float64
+	// Origin is the value of support index 0.
+	Origin float64
+	// MinK is the smallest support index with nonzero probability.
+	MinK int
+	// Prob[i] is the probability of index MinK+i.
+	Prob []float64
+}
+
+// NewPMF validates and normalizes a PMF. The probability slice is copied.
+func NewPMF(step, origin float64, minK int, prob []float64) (*PMF, error) {
+	if step <= 0 {
+		return nil, errors.New("dist: PMF step must be positive")
+	}
+	if len(prob) == 0 {
+		return nil, errors.New("dist: empty PMF")
+	}
+	total := 0.0
+	for _, p := range prob {
+		if p < 0 {
+			return nil, fmt.Errorf("dist: negative PMF probability %g", p)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return nil, errors.New("dist: PMF has zero total mass")
+	}
+	cp := make([]float64, len(prob))
+	for i, p := range prob {
+		cp[i] = p / total
+	}
+	return &PMF{Step: step, Origin: origin, MinK: minK, Prob: cp}, nil
+}
+
+// Delta returns the degenerate PMF concentrated at value v (up to grid
+// rounding of v onto multiples of step).
+func Delta(step, v float64) *PMF {
+	k := int(math.Round(v / step))
+	return &PMF{Step: step, Origin: 0, MinK: k, Prob: []float64{1}}
+}
+
+// Len returns the support size.
+func (p *PMF) Len() int { return len(p.Prob) }
+
+// Value returns the value of the i-th support point (i in [0, Len)).
+func (p *PMF) Value(i int) float64 { return p.Origin + float64(p.MinK+i)*p.Step }
+
+// Support invokes fn for every support point with nonzero probability.
+func (p *PMF) Support(fn func(value float64, k int, prob float64)) {
+	for i, pr := range p.Prob {
+		if pr > 0 {
+			fn(p.Value(i), p.MinK+i, pr)
+		}
+	}
+}
+
+// Mean returns E[X].
+func (p *PMF) Mean() float64 {
+	s := 0.0
+	for i, pr := range p.Prob {
+		s += pr * p.Value(i)
+	}
+	return s
+}
+
+// Var returns Var[X].
+func (p *PMF) Var() float64 {
+	mu := p.Mean()
+	s := 0.0
+	for i, pr := range p.Prob {
+		d := p.Value(i) - mu
+		s += pr * d * d
+	}
+	return s
+}
+
+// Std returns the standard deviation.
+func (p *PMF) Std() float64 { return math.Sqrt(p.Var()) }
+
+// Min returns the smallest support value.
+func (p *PMF) Min() float64 { return p.Value(0) }
+
+// Max returns the largest support value.
+func (p *PMF) Max() float64 { return p.Value(len(p.Prob) - 1) }
+
+// MaxAbs returns max(|Min|, |Max|) — the "MAXnr" figure annotation.
+func (p *PMF) MaxAbs() float64 { return math.Max(math.Abs(p.Min()), math.Abs(p.Max())) }
+
+// CDF returns P(X ≤ x).
+func (p *PMF) CDF(x float64) float64 {
+	s := 0.0
+	for i, pr := range p.Prob {
+		if p.Value(i) <= x+1e-15 {
+			s += pr
+		}
+	}
+	return s
+}
+
+// Convolve returns the law of the sum of two independent PMFs on the same
+// grid step. Convolution is the core of composing several accumulated
+// jitter specifications into a single n_r.
+func (p *PMF) Convolve(q *PMF) (*PMF, error) {
+	if math.Abs(p.Step-q.Step) > 1e-15*math.Max(p.Step, q.Step) {
+		return nil, fmt.Errorf("dist: convolving PMFs with different steps %g and %g", p.Step, q.Step)
+	}
+	if math.Abs(p.Origin)+math.Abs(q.Origin) > 0 {
+		return nil, errors.New("dist: convolution requires zero-origin PMFs")
+	}
+	minK := p.MinK + q.MinK
+	out := make([]float64, p.Len()+q.Len()-1)
+	for i, a := range p.Prob {
+		if a == 0 {
+			continue
+		}
+		for j, b := range q.Prob {
+			out[i+j] += a * b
+		}
+	}
+	return NewPMF(p.Step, 0, minK, out)
+}
+
+// Rescaled returns the same probabilities reinterpreted on a new grid step.
+// It is used when the phase grid is refined: a PMF built on step h lands on
+// every q-th point of step h/q.
+func (p *PMF) Rescaled(newStep float64, factor int) (*PMF, error) {
+	if factor < 1 {
+		return nil, errors.New("dist: rescale factor must be >= 1")
+	}
+	prob := make([]float64, (p.Len()-1)*factor+1)
+	for i, pr := range p.Prob {
+		prob[i*factor] = pr
+	}
+	return NewPMF(newStep, p.Origin, p.MinK*factor, prob)
+}
+
+// Quantize builds a grid PMF from a continuous law by assigning each grid
+// point k·step the probability mass of ((k−1/2)step, (k+1/2)step], then
+// truncating indices outside [minK, maxK] into the end bins. This is the
+// discretization the paper applies to the noise sources.
+func Quantize(c Continuous, step float64, minK, maxK int) (*PMF, error) {
+	if step <= 0 {
+		return nil, errors.New("dist: quantize step must be positive")
+	}
+	if minK > maxK {
+		return nil, errors.New("dist: quantize needs minK <= maxK")
+	}
+	n := maxK - minK + 1
+	prob := make([]float64, n)
+	for k := minK; k <= maxK; k++ {
+		lo := (float64(k) - 0.5) * step
+		hi := (float64(k) + 0.5) * step
+		pm := c.CDF(hi) - c.CDF(lo)
+		if pm < 0 {
+			pm = 0
+		}
+		prob[k-minK] = pm
+	}
+	// Fold the tails into the extreme bins so mass is conserved.
+	prob[0] += c.CDF((float64(minK) - 0.5) * step)
+	prob[n-1] += 1 - c.CDF((float64(maxK)+0.5)*step)
+	return NewPMF(step, 0, minK, prob)
+}
+
+// String summarizes the PMF.
+func (p *PMF) String() string {
+	return fmt.Sprintf("PMF{step=%g support=[%g,%g] n=%d mean=%g std=%g}",
+		p.Step, p.Min(), p.Max(), p.Len(), p.Mean(), p.Std())
+}
+
+// FromSamples builds an empirical grid PMF from raw samples (used to fold a
+// simulated PLL clock-jitter characterization into the Markov model). Each
+// sample is rounded to the nearest grid index; indices beyond maxAbsK are
+// clamped. Returns an error when no samples are given.
+func FromSamples(samples []float64, step float64, maxAbsK int) (*PMF, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("dist: no samples")
+	}
+	if step <= 0 || maxAbsK < 0 {
+		return nil, errors.New("dist: bad grid for FromSamples")
+	}
+	counts := make([]float64, 2*maxAbsK+1)
+	for _, s := range samples {
+		k := int(math.Round(s / step))
+		if k < -maxAbsK {
+			k = -maxAbsK
+		}
+		if k > maxAbsK {
+			k = maxAbsK
+		}
+		counts[k+maxAbsK]++
+	}
+	return NewPMF(step, 0, -maxAbsK, counts)
+}
+
+// Trim returns a copy with leading/trailing zero-probability bins removed,
+// keeping transition assembly loops tight.
+func (p *PMF) Trim() *PMF {
+	lo, hi := 0, len(p.Prob)
+	for lo < hi && p.Prob[lo] == 0 {
+		lo++
+	}
+	for hi > lo && p.Prob[hi-1] == 0 {
+		hi--
+	}
+	if lo == hi {
+		return p
+	}
+	out, err := NewPMF(p.Step, p.Origin, p.MinK+lo, p.Prob[lo:hi])
+	if err != nil {
+		return p
+	}
+	return out
+}
+
+// Quantile returns the smallest support value v with CDF(v) >= q.
+func (p *PMF) Quantile(q float64) float64 {
+	if q <= 0 {
+		return p.Min()
+	}
+	cum := 0.0
+	for i, pr := range p.Prob {
+		cum += pr
+		if cum >= q-1e-15 {
+			return p.Value(i)
+		}
+	}
+	return p.Max()
+}
+
+// SortedValues returns the support values in increasing order (they already
+// are; the method exists for symmetry and defensive copies in callers).
+func (p *PMF) SortedValues() []float64 {
+	vs := make([]float64, p.Len())
+	for i := range vs {
+		vs[i] = p.Value(i)
+	}
+	sort.Float64s(vs)
+	return vs
+}

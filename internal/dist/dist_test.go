@@ -1,0 +1,445 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianCDFKnownValues(t *testing.T) {
+	g := NewGaussian(0, 1)
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{2, 0.9772498680518208},
+	}
+	for _, c := range cases {
+		if got := g.CDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+	if g.Mean() != 0 || g.Std() != 1 {
+		t.Error("Gaussian moments wrong")
+	}
+}
+
+func TestGaussianDeepTails(t *testing.T) {
+	g := NewGaussian(0, 1)
+	// P(X > 8) ≈ 6.22e-16: must be positive and accurate, not rounded to 0.
+	tail := g.TailAbove(8)
+	if tail <= 0 || tail > 1e-15 {
+		t.Fatalf("TailAbove(8) = %g", tail)
+	}
+	if d := math.Abs(g.TailBelow(-8) - tail); d > 1e-18 {
+		t.Fatalf("tail symmetry broken by %g", d)
+	}
+}
+
+func TestGaussianShiftScale(t *testing.T) {
+	g := NewGaussian(2, 3)
+	ref := NewGaussian(0, 1)
+	for _, x := range []float64{-5, 0, 2, 7} {
+		if got, want := g.CDF(x), ref.CDF((x-2)/3); math.Abs(got-want) > 1e-14 {
+			t.Errorf("CDF(%g): %g vs %g", x, got, want)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	u := NewUniform(-1, 3)
+	if u.CDF(-2) != 0 || u.CDF(5) != 1 {
+		t.Error("uniform CDF clamping broken")
+	}
+	if got := u.CDF(1); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("CDF(1) = %g", got)
+	}
+	if math.Abs(u.Mean()-1) > 1e-15 {
+		t.Error("uniform mean")
+	}
+	if math.Abs(u.Std()-4/math.Sqrt(12)) > 1e-15 {
+		t.Error("uniform std")
+	}
+}
+
+func TestSinusoidal(t *testing.T) {
+	s := NewSinusoidal(2)
+	if s.CDF(-2) != 0 || s.CDF(2) != 1 {
+		t.Error("sinusoidal support clamping")
+	}
+	if got := s.CDF(0); math.Abs(got-0.5) > 1e-15 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+	// P(|X| < A/√2) = 1/2 for the arcsine law.
+	p := s.CDF(2/math.Sqrt2) - s.CDF(-2/math.Sqrt2)
+	if math.Abs(p-0.5) > 1e-12 {
+		t.Errorf("arcsine quartile property: %g", p)
+	}
+	if math.Abs(s.Std()-math.Sqrt2) > 1e-15 {
+		t.Error("sinusoidal std")
+	}
+}
+
+func TestMixture(t *testing.T) {
+	m, err := NewMixture(
+		[]Continuous{NewGaussian(0, 1), NewGaussian(4, 1)},
+		[]float64{1, 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mean(); math.Abs(got-2) > 1e-14 {
+		t.Errorf("mixture mean = %g", got)
+	}
+	// Var = E[Var] + Var[E] = 1 + 4.
+	if got := m.Std(); math.Abs(got-math.Sqrt(5)) > 1e-14 {
+		t.Errorf("mixture std = %g", got)
+	}
+	if got := m.CDF(2); math.Abs(got-0.5) > 1e-10 {
+		t.Errorf("mixture CDF(2) = %g", got)
+	}
+}
+
+func TestMixtureErrors(t *testing.T) {
+	if _, err := NewMixture(nil, nil); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture([]Continuous{NewGaussian(0, 1)}, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewMixture([]Continuous{NewGaussian(0, 1)}, []float64{0}); err == nil {
+		t.Error("zero-total weights accepted")
+	}
+}
+
+func TestPMFBasics(t *testing.T) {
+	p, err := NewPMF(0.1, 0, -1, []float64{1, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 3 {
+		t.Fatal("len")
+	}
+	if math.Abs(p.Mean()) > 1e-15 {
+		t.Errorf("mean = %g", p.Mean())
+	}
+	if got, want := p.Var(), 0.005; math.Abs(got-want) > 1e-15 {
+		t.Errorf("var = %g want %g", got, want)
+	}
+	if p.Min() != -0.1 || p.Max() != 0.1 || p.MaxAbs() != 0.1 {
+		t.Error("support bounds")
+	}
+	if got := p.CDF(0); math.Abs(got-0.75) > 1e-15 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+}
+
+func TestPMFValidation(t *testing.T) {
+	if _, err := NewPMF(0, 0, 0, []float64{1}); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := NewPMF(1, 0, 0, nil); err == nil {
+		t.Error("empty PMF accepted")
+	}
+	if _, err := NewPMF(1, 0, 0, []float64{-1, 2}); err == nil {
+		t.Error("negative prob accepted")
+	}
+	if _, err := NewPMF(1, 0, 0, []float64{0, 0}); err == nil {
+		t.Error("zero mass accepted")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	d := Delta(0.25, 0.5)
+	if d.Len() != 1 || d.Value(0) != 0.5 || d.Prob[0] != 1 {
+		t.Fatalf("Delta = %v", d)
+	}
+	if Delta(0.25, 0.6).Value(0) != 0.5 {
+		t.Error("Delta should round onto grid")
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	p, _ := NewPMF(1, 0, 0, []float64{0.5, 0.5}) // fair coin on {0,1}
+	q, _ := NewPMF(1, 0, 0, []float64{0.5, 0.5})
+	c, err := p.Convolve(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.25, 0.5, 0.25}
+	for i, w := range want {
+		if math.Abs(c.Prob[i]-w) > 1e-15 {
+			t.Fatalf("conv[%d] = %g want %g", i, c.Prob[i], w)
+		}
+	}
+	if math.Abs(c.Mean()-1) > 1e-15 {
+		t.Error("conv mean")
+	}
+	if _, err := p.Convolve(&PMF{Step: 2, Prob: []float64{1}}); err == nil {
+		t.Error("step mismatch accepted")
+	}
+}
+
+func TestQuickConvolutionMoments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() *PMF {
+			n := 1 + rng.Intn(6)
+			pr := make([]float64, n)
+			for i := range pr {
+				pr[i] = rng.Float64() + 0.01
+			}
+			p, err := NewPMF(0.5, 0, rng.Intn(5)-2, pr)
+			if err != nil {
+				return nil
+			}
+			return p
+		}
+		p, q := mk(), mk()
+		if p == nil || q == nil {
+			return false
+		}
+		c, err := p.Convolve(q)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range c.Prob {
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-12 &&
+			math.Abs(c.Mean()-(p.Mean()+q.Mean())) < 1e-12 &&
+			math.Abs(c.Var()-(p.Var()+q.Var())) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeGaussianMoments(t *testing.T) {
+	g := NewGaussian(0, 0.05)
+	p, err := Quantize(g, 0.01, -30, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()) > 1e-6 {
+		t.Errorf("quantized mean = %g", p.Mean())
+	}
+	if math.Abs(p.Std()-0.05) > 1e-3 {
+		t.Errorf("quantized std = %g", p.Std())
+	}
+	sum := 0.0
+	for _, v := range p.Prob {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("quantized mass = %g", sum)
+	}
+}
+
+func TestQuantizeTailFolding(t *testing.T) {
+	// Support much narrower than the law: all mass must still be captured.
+	g := NewGaussian(0, 10)
+	p, err := Quantize(g, 1, -2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range p.Prob {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mass lost: %g", sum)
+	}
+	if p.Prob[0] < 0.3 {
+		t.Error("left fold bin should carry heavy tail mass")
+	}
+}
+
+func TestQuantizeErrors(t *testing.T) {
+	g := NewGaussian(0, 1)
+	if _, err := Quantize(g, 0, 0, 1); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := Quantize(g, 1, 3, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestRescaled(t *testing.T) {
+	p, _ := NewPMF(0.2, 0, -1, []float64{0.25, 0.5, 0.25})
+	r, err := p.Rescaled(0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Step != 0.1 || r.MinK != -2 || r.Len() != 5 {
+		t.Fatalf("rescaled shape: %v", r)
+	}
+	if math.Abs(r.Mean()-p.Mean()) > 1e-15 || math.Abs(r.Var()-p.Var()) > 1e-15 {
+		t.Error("rescaling changed moments")
+	}
+	if _, err := p.Rescaled(0.1, 0); err == nil {
+		t.Error("factor 0 accepted")
+	}
+}
+
+func TestTrim(t *testing.T) {
+	p, _ := NewPMF(1, 0, -2, []float64{0, 0.5, 0.5, 0, 0})
+	q := p.Trim()
+	if q.Len() != 2 || q.MinK != -1 {
+		t.Fatalf("Trim = %v", q)
+	}
+	if math.Abs(q.Mean()-p.Mean()) > 1e-15 {
+		t.Error("trim changed mean")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	p, _ := NewPMF(1, 0, 0, []float64{0.25, 0.25, 0.5})
+	if p.Quantile(0) != 0 || p.Quantile(0.25) != 0 || p.Quantile(0.3) != 1 || p.Quantile(1) != 2 {
+		t.Fatalf("quantiles: %g %g %g %g", p.Quantile(0), p.Quantile(0.25), p.Quantile(0.3), p.Quantile(1))
+	}
+}
+
+func TestSortedValues(t *testing.T) {
+	p, _ := NewPMF(0.5, 0, -1, []float64{1, 1, 1})
+	vs := p.SortedValues()
+	want := []float64{-0.5, 0, 0.5}
+	for i := range want {
+		if vs[i] != want[i] {
+			t.Fatalf("SortedValues = %v", vs)
+		}
+	}
+}
+
+func TestDriftPMFMeanAndBounds(t *testing.T) {
+	spec := DriftSpec{Step: 0.01, Max: 0.05, Mean: 0.012, Shape: 0.5}
+	p, err := DriftPMF(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()-0.012) > 1e-9 {
+		t.Errorf("drift mean = %g, want 0.012", p.Mean())
+	}
+	if p.MaxAbs() > 0.05+1e-12 {
+		t.Errorf("drift exceeds bound: %g", p.MaxAbs())
+	}
+	// Non-Gaussian: must be visibly skewed (nonzero third central moment).
+	mu := p.Mean()
+	m3 := 0.0
+	p.Support(func(v float64, _ int, pr float64) { m3 += pr * math.Pow(v-mu, 3) })
+	if m3 == 0 {
+		t.Error("drift PMF unexpectedly symmetric")
+	}
+}
+
+func TestDriftPMFZeroMean(t *testing.T) {
+	p, err := DriftPMF(DriftSpec{Step: 0.01, Max: 0.03, Mean: 0, Shape: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()) > 1e-12 {
+		t.Errorf("zero-mean drift has mean %g", p.Mean())
+	}
+}
+
+func TestDriftPMFErrors(t *testing.T) {
+	if _, err := DriftPMF(DriftSpec{Step: 0, Max: 1, Shape: 0.5}); err == nil {
+		t.Error("zero step accepted")
+	}
+	if _, err := DriftPMF(DriftSpec{Step: 0.01, Max: 0.005, Shape: 0.5}); err == nil {
+		t.Error("sub-step max accepted")
+	}
+	if _, err := DriftPMF(DriftSpec{Step: 0.01, Max: 0.05, Mean: 0.06, Shape: 0.5}); err == nil {
+		t.Error("unreachable mean accepted")
+	}
+	if _, err := DriftPMF(DriftSpec{Step: 0.01, Max: 0.05, Shape: 0}); err == nil {
+		t.Error("zero shape accepted")
+	}
+}
+
+func TestDefaultDrift(t *testing.T) {
+	spec := DefaultDrift(0.01, 0.04)
+	p, err := DriftPMF(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Mean()-0.01) > 1e-9 {
+		t.Errorf("default drift mean = %g", p.Mean())
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	p, err := FromSamples([]float64{0.1, 0.1, -0.1, 0.32}, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.CDF(-0.1)-0.25) > 1e-15 {
+		t.Errorf("CDF(-0.1) = %g", p.CDF(-0.1))
+	}
+	// 0.32 clamps to index 2 (value 0.2).
+	if p.Max() != 0.2 {
+		t.Errorf("max = %g", p.Max())
+	}
+	if _, err := FromSamples(nil, 0.1, 2); err == nil {
+		t.Error("empty samples accepted")
+	}
+}
+
+func TestSamplerMatchesPMF(t *testing.T) {
+	p, _ := NewPMF(1, 0, -1, []float64{0.2, 0.5, 0.3})
+	s, err := NewSampler(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	counts := map[float64]int{}
+	for i := 0; i < n; i++ {
+		counts[s.Sample(rng)]++
+	}
+	for i, pr := range p.Prob {
+		got := float64(counts[p.Value(i)]) / n
+		if math.Abs(got-pr) > 0.01 {
+			t.Errorf("value %g: freq %g want %g", p.Value(i), got, pr)
+		}
+	}
+}
+
+func TestSamplerIndex(t *testing.T) {
+	p, _ := NewPMF(1, 0, 5, []float64{1})
+	s, _ := NewSampler(p)
+	rng := rand.New(rand.NewSource(1))
+	if idx := s.SampleIndex(rng); idx != 5 {
+		t.Fatalf("SampleIndex = %d", idx)
+	}
+}
+
+func TestQuickSamplerMeanConverges(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		pr := make([]float64, n)
+		for i := range pr {
+			pr[i] = rng.Float64() + 0.05
+		}
+		p, err := NewPMF(0.25, 0, -n/2, pr)
+		if err != nil {
+			return false
+		}
+		s, err := NewSampler(p)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		const draws = 40000
+		for i := 0; i < draws; i++ {
+			sum += s.Sample(rng)
+		}
+		return math.Abs(sum/draws-p.Mean()) < 6*p.Std()/math.Sqrt(draws)+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

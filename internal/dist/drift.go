@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DriftSpec parameterizes the paper's n_r: a white noise process with
+// nonzero mean and a bounded, non-Gaussian amplitude distribution "chosen
+// to reflect SONET system specifications". The nonzero mean models the
+// maximal frequency drift between transmitter and receiver clocks (phase
+// accumulates by Mean UI per bit); the bounded random part models the
+// cumulative (random-walk) jitter component.
+type DriftSpec struct {
+	// Step is the phase grid spacing in UI; the PMF support is on
+	// multiples of Step, as the model construction requires.
+	Step float64
+	// Max bounds the support: |n_r| ≤ Max (in UI). Rounded to the grid.
+	Max float64
+	// Mean is the target E[n_r] in UI per bit (the frequency offset).
+	Mean float64
+	// Shape skews mass towards zero; larger values concentrate the
+	// distribution (geometric decay rate per grid step). Must be in (0,1].
+	Shape float64
+}
+
+// DriftPMF builds the n_r distribution for a DriftSpec. The construction is
+// a two-sided truncated geometric: P(k) ∝ Shape^{|k|} for grid index k in
+// [−K, +K], tilted exponentially to match the requested mean exactly (the
+// tilt parameter is found by bisection on the monotone mean-vs-tilt map).
+// The result is bounded, grid-aligned, non-Gaussian and skewed — the
+// properties the paper attributes to its SONET-inspired n_r.
+func DriftPMF(spec DriftSpec) (*PMF, error) {
+	if spec.Step <= 0 {
+		return nil, errors.New("dist: DriftSpec.Step must be positive")
+	}
+	if spec.Shape <= 0 || spec.Shape > 1 {
+		return nil, fmt.Errorf("dist: DriftSpec.Shape %g outside (0,1]", spec.Shape)
+	}
+	k := int(math.Floor(spec.Max/spec.Step + 1e-9))
+	if k < 1 {
+		return nil, fmt.Errorf("dist: DriftSpec.Max %g smaller than one grid step %g", spec.Max, spec.Step)
+	}
+	if math.Abs(spec.Mean) >= spec.Max {
+		return nil, fmt.Errorf("dist: mean %g not achievable within |n_r| <= %g", spec.Mean, spec.Max)
+	}
+
+	base := make([]float64, 2*k+1)
+	for i := -k; i <= k; i++ {
+		base[i+k] = math.Pow(spec.Shape, math.Abs(float64(i)))
+	}
+
+	meanOf := func(tilt float64) (float64, []float64) {
+		w := make([]float64, len(base))
+		total, acc := 0.0, 0.0
+		for i := -k; i <= k; i++ {
+			v := base[i+k] * math.Exp(tilt*float64(i))
+			w[i+k] = v
+			total += v
+			acc += v * float64(i) * spec.Step
+		}
+		for i := range w {
+			w[i] /= total
+		}
+		return acc / total, w
+	}
+
+	target := spec.Mean
+	lo, hi := -60.0, 60.0
+	mLo, _ := meanOf(lo)
+	mHi, _ := meanOf(hi)
+	if target < mLo || target > mHi {
+		return nil, fmt.Errorf("dist: mean %g outside tiltable range [%g, %g]", target, mLo, mHi)
+	}
+	var w []float64
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		var m float64
+		m, w = meanOf(mid)
+		if math.Abs(m-target) <= 1e-15+1e-12*math.Abs(target) {
+			break
+		}
+		if m < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return NewPMF(spec.Step, 0, -k, w)
+}
+
+// DefaultDrift returns the n_r specification used throughout the examples
+// and benchmarks: bounded at max UI with a slight positive frequency-offset
+// mean of meanFrac·max. It mirrors the magnitudes the paper's figures quote
+// ("MAXnr" annotations).
+func DefaultDrift(step, max float64) DriftSpec {
+	return DriftSpec{Step: step, Max: max, Mean: 0.25 * max, Shape: 0.5}
+}

@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"errors"
+)
+
+// DualDirac builds the industry-standard dual-Dirac jitter law: total
+// jitter = deterministic jitter modeled as two equal atoms at ±W/2 plus
+// Gaussian random jitter of the given sigma. It is the usual way link
+// budgets quote "DJ(δδ) + RJ", and it slots directly into Spec.EyeJitter:
+// the atoms ride on the exact-CDF Gaussian, so deep BER tails remain
+// meaningful. W is the total deterministic jitter width in UI; step is
+// the grid step the atoms are rounded to.
+func DualDirac(w, sigma, step float64) (Continuous, error) {
+	if w < 0 {
+		return nil, errors.New("dist: negative DJ width")
+	}
+	if sigma <= 0 {
+		return nil, errors.New("dist: RJ sigma must be positive")
+	}
+	if w == 0 {
+		return NewGaussian(0, sigma), nil
+	}
+	if step <= 0 {
+		return nil, errors.New("dist: step must be positive")
+	}
+	half := w / 2
+	k := int(half/step + 0.5)
+	if k == 0 {
+		// The DJ width rounds below the grid: treat as pure RJ.
+		return NewGaussian(0, sigma), nil
+	}
+	atoms, err := NewPMF(step, 0, -k, appendAtoms(2*k))
+	if err != nil {
+		return nil, err
+	}
+	return NewSumLaw(NewGaussian(0, sigma), atoms)
+}
+
+// appendAtoms builds the two-atom probability slice spanning span+1 bins
+// with mass only at the ends.
+func appendAtoms(span int) []float64 {
+	p := make([]float64, span+1)
+	p[0] = 0.5
+	p[span] = 0.5
+	return p
+}

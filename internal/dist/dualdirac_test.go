@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDualDiracPureRJ(t *testing.T) {
+	law, err := DualDirac(0, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := law.(Gaussian); !ok {
+		t.Fatalf("zero DJ should collapse to Gaussian, got %T", law)
+	}
+	// Sub-grid DJ also collapses.
+	law, err = DualDirac(0.001, 0.02, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := law.(Gaussian); !ok {
+		t.Fatalf("sub-grid DJ should collapse to Gaussian, got %T", law)
+	}
+}
+
+func TestDualDiracMoments(t *testing.T) {
+	w, sigma := 0.1, 0.02
+	law, err := DualDirac(w, sigma, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(law.Mean()) > 1e-15 {
+		t.Errorf("mean = %g", law.Mean())
+	}
+	// Var = sigma² + (W/2)².
+	want := math.Sqrt(sigma*sigma + 0.05*0.05)
+	if math.Abs(law.Std()-want) > 1e-12 {
+		t.Errorf("std = %g, want %g", law.Std(), want)
+	}
+}
+
+func TestDualDiracCDFShape(t *testing.T) {
+	law, err := DualDirac(0.2, 0.01, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far from both atoms: CDF saturates; between them: plateau at 1/2.
+	if got := law.CDF(0); math.Abs(got-0.5) > 1e-6 {
+		t.Errorf("CDF(0) = %g", got)
+	}
+	if got := law.CDF(-0.2); got > 1e-10 {
+		t.Errorf("CDF(-0.2) = %g", got)
+	}
+	if got := law.CDF(0.2); got < 1-1e-10 {
+		t.Errorf("CDF(0.2) = %g", got)
+	}
+	// The atoms split the tail: P(X > 0.1 + 3σ-ish) ≈ contribution of the
+	// +0.1 atom's Gaussian tail only.
+	tail := TailAbove(law, 0.13)
+	want := 0.5 * NewGaussian(0, 0.01).TailAbove(0.03)
+	if math.Abs(tail-want) > want*0.01 {
+		t.Errorf("tail = %g, want %g", tail, want)
+	}
+}
+
+func TestDualDiracValidation(t *testing.T) {
+	if _, err := DualDirac(-0.1, 0.01, 0.01); err == nil {
+		t.Error("negative width accepted")
+	}
+	if _, err := DualDirac(0.1, 0, 0.01); err == nil {
+		t.Error("zero sigma accepted")
+	}
+	if _, err := DualDirac(0.1, 0.01, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+}

@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"math"
+)
+
+// Laplace is the two-sided exponential law with location mu and scale b
+// (std = b·√2). Measured jitter tails are frequently heavier than
+// Gaussian — crosstalk and supply noise produce near-exponential tails —
+// and the difference matters enormously at BER targets: at equal RMS, a
+// Laplace eye jitter can cost many orders of magnitude of BER relative to
+// a Gaussian one. The tails are computed in closed form, so deep-tail
+// accuracy matches the Gaussian path.
+type Laplace struct {
+	Mu, B float64
+}
+
+// NewLaplace returns a Laplace law with the given location and scale.
+func NewLaplace(mu, b float64) Laplace {
+	if b <= 0 {
+		panic("dist: Laplace scale must be positive")
+	}
+	return Laplace{Mu: mu, B: b}
+}
+
+// LaplaceFromStd returns a zero-mean Laplace law with the given standard
+// deviation (scale = std/√2), for like-for-like comparisons with
+// NewGaussian(0, std).
+func LaplaceFromStd(std float64) Laplace {
+	if std <= 0 {
+		panic("dist: Laplace std must be positive")
+	}
+	return Laplace{Mu: 0, B: std / math.Sqrt2}
+}
+
+// CDF returns P(X ≤ x).
+func (l Laplace) CDF(x float64) float64 {
+	z := (x - l.Mu) / l.B
+	if z < 0 {
+		return 0.5 * math.Exp(z)
+	}
+	return 1 - 0.5*math.Exp(-z)
+}
+
+// Mean returns mu.
+func (l Laplace) Mean() float64 { return l.Mu }
+
+// Std returns b·√2.
+func (l Laplace) Std() float64 { return l.B * math.Sqrt2 }
+
+// TailAbove returns P(X > x) without cancellation.
+func (l Laplace) TailAbove(x float64) float64 {
+	z := (x - l.Mu) / l.B
+	if z < 0 {
+		return 1 - 0.5*math.Exp(z)
+	}
+	return 0.5 * math.Exp(-z)
+}
+
+// TailBelow returns P(X ≤ x) without cancellation.
+func (l Laplace) TailBelow(x float64) float64 {
+	z := (x - l.Mu) / l.B
+	if z < 0 {
+		return 0.5 * math.Exp(z)
+	}
+	return 1 - 0.5*math.Exp(-z)
+}

@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaplaceCDF(t *testing.T) {
+	l := NewLaplace(0, 1)
+	if got := l.CDF(0); got != 0.5 {
+		t.Fatalf("CDF(0) = %g", got)
+	}
+	if got := l.CDF(1); math.Abs(got-(1-0.5*math.Exp(-1))) > 1e-15 {
+		t.Fatalf("CDF(1) = %g", got)
+	}
+	// Symmetry: CDF(−x) = 1 − CDF(x).
+	for _, x := range []float64{0.3, 1.7, 5} {
+		if d := math.Abs(l.CDF(-x) - (1 - l.CDF(x))); d > 1e-15 {
+			t.Fatalf("symmetry broken at %g by %g", x, d)
+		}
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	l := LaplaceFromStd(0.05)
+	if l.Mean() != 0 {
+		t.Error("mean")
+	}
+	if math.Abs(l.Std()-0.05) > 1e-15 {
+		t.Errorf("std = %g", l.Std())
+	}
+}
+
+func TestLaplaceDeepTails(t *testing.T) {
+	l := LaplaceFromStd(0.02)
+	tail := l.TailAbove(0.5)
+	// Closed form: 0.5·exp(−0.5/b) with b = 0.02/√2.
+	want := 0.5 * math.Exp(-0.5*math.Sqrt2/0.02)
+	if math.Abs(tail-want) > want*1e-12 {
+		t.Fatalf("tail = %g, want %g", tail, want)
+	}
+	if tail <= 0 {
+		t.Fatal("deep tail underflowed")
+	}
+	if d := math.Abs(l.TailBelow(-0.5) - tail); d > tail*1e-12 {
+		t.Fatal("tail symmetry")
+	}
+	// Complement consistency at moderate x.
+	for _, x := range []float64{-0.03, 0, 0.04} {
+		if d := math.Abs(l.TailAbove(x) + l.TailBelow(x) - 1); d > 1e-15 {
+			t.Fatalf("complement broken at %g by %g", x, d)
+		}
+	}
+}
+
+// TestLaplaceHeavierThanGaussian: at equal std, the Laplace tail dominates
+// the Gaussian tail by many orders of magnitude far out — the reason
+// jitter tail shape matters at BER targets.
+func TestLaplaceHeavierThanGaussian(t *testing.T) {
+	std := 0.02
+	lap := LaplaceFromStd(std)
+	gau := NewGaussian(0, std)
+	lt := lap.TailAbove(0.5)
+	gt := gau.TailAbove(0.5)
+	if lt < 1e12*gt {
+		t.Fatalf("Laplace tail %g not ≫ Gaussian tail %g", lt, gt)
+	}
+}
+
+func TestLaplacePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLaplace(0, 0) },
+		func() { LaplaceFromStd(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,76 @@
+package dist
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Sampler draws variates from a PMF in O(1) per draw using Walker's alias
+// method. The Monte Carlo baseline (internal/bitsim) samples millions of
+// n_r values per BER estimate, so constant-time sampling matters.
+type Sampler struct {
+	pmf   *PMF
+	prob  []float64
+	alias []int
+}
+
+// NewSampler preprocesses a PMF into alias tables.
+func NewSampler(p *PMF) (*Sampler, error) {
+	n := p.Len()
+	if n == 0 {
+		return nil, errors.New("dist: empty PMF")
+	}
+	prob := make([]float64, n)
+	alias := make([]int, n)
+	scaled := make([]float64, n)
+	var small, large []int
+	for i, pr := range p.Prob {
+		scaled[i] = pr * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		prob[i] = 1
+		alias[i] = i
+	}
+	for _, i := range small {
+		prob[i] = 1
+		alias[i] = i
+	}
+	return &Sampler{pmf: p, prob: prob, alias: alias}, nil
+}
+
+// Sample draws one variate (a support value of the underlying PMF).
+func (s *Sampler) Sample(rng *rand.Rand) float64 {
+	i := rng.Intn(len(s.prob))
+	if rng.Float64() >= s.prob[i] {
+		i = s.alias[i]
+	}
+	return s.pmf.Value(i)
+}
+
+// SampleIndex draws a support index instead of a value.
+func (s *Sampler) SampleIndex(rng *rand.Rand) int {
+	i := rng.Intn(len(s.prob))
+	if rng.Float64() >= s.prob[i] {
+		i = s.alias[i]
+	}
+	return s.pmf.MinK + i
+}

@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"errors"
+	"math"
+)
+
+// SumLaw is the law of X + Y where X follows a continuous law and Y an
+// independent grid PMF: CDF(x) = Σ_k p_k·CDF_X(x − y_k). It is the exact
+// composition used to add a discretized jitter contribution (sinusoidal
+// jitter, characterized PLL clock jitter) to a continuous eye-jitter law
+// without losing the deep-tail accuracy of the continuous component.
+type SumLaw struct {
+	base Continuous
+	pmf  *PMF
+}
+
+// NewSumLaw composes a continuous law with an independent PMF.
+func NewSumLaw(base Continuous, pmf *PMF) (*SumLaw, error) {
+	if base == nil || pmf == nil {
+		return nil, errors.New("dist: SumLaw needs both components")
+	}
+	return &SumLaw{base: base, pmf: pmf.Trim()}, nil
+}
+
+// CDF returns P(X + Y ≤ x).
+func (s *SumLaw) CDF(x float64) float64 {
+	acc := 0.0
+	s.pmf.Support(func(v float64, _ int, p float64) {
+		acc += p * s.base.CDF(x-v)
+	})
+	return acc
+}
+
+// Mean returns E[X] + E[Y].
+func (s *SumLaw) Mean() float64 { return s.base.Mean() + s.pmf.Mean() }
+
+// Std returns the standard deviation of the independent sum.
+func (s *SumLaw) Std() float64 {
+	return math.Sqrt(s.base.Std()*s.base.Std() + s.pmf.Var())
+}
+
+// TailAbove returns P(X + Y > x), delegating to the base law's deep-tail
+// path when available.
+func (s *SumLaw) TailAbove(x float64) float64 {
+	acc := 0.0
+	s.pmf.Support(func(v float64, _ int, p float64) {
+		acc += p * TailAbove(s.base, x-v)
+	})
+	return acc
+}
+
+// TailBelow returns P(X + Y ≤ x) with the same deep-tail dispatch.
+func (s *SumLaw) TailBelow(x float64) float64 {
+	acc := 0.0
+	s.pmf.Support(func(v float64, _ int, p float64) {
+		acc += p * TailBelow(s.base, x-v)
+	})
+	return acc
+}

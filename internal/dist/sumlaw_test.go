@@ -1,0 +1,84 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSumLawDegenerateShift(t *testing.T) {
+	g := NewGaussian(0, 1)
+	shift := Delta(0.5, 1.0) // Y ≡ 1
+	s, err := NewSumLaw(g, shift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewGaussian(1, 1)
+	for _, x := range []float64{-3, 0, 1, 2.5} {
+		if d := math.Abs(s.CDF(x) - ref.CDF(x)); d > 1e-15 {
+			t.Fatalf("CDF(%g) off by %g", x, d)
+		}
+	}
+	if s.Mean() != 1 || math.Abs(s.Std()-1) > 1e-15 {
+		t.Fatalf("moments: mean %g std %g", s.Mean(), s.Std())
+	}
+}
+
+func TestSumLawMoments(t *testing.T) {
+	g := NewGaussian(0.2, 0.5)
+	p, err := NewPMF(0.1, 0, -1, []float64{0.25, 0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSumLaw(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := math.Abs(s.Mean() - (g.Mean() + p.Mean())); d > 1e-15 {
+		t.Fatalf("mean off by %g", d)
+	}
+	wantVar := g.Std()*g.Std() + p.Var()
+	if d := math.Abs(s.Std()*s.Std() - wantVar); d > 1e-15 {
+		t.Fatalf("variance off by %g", d)
+	}
+}
+
+func TestSumLawTailsDeep(t *testing.T) {
+	g := NewGaussian(0, 0.02)
+	p, err := Quantize(NewSinusoidal(0.05), 0.01, -6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSumLaw(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep tail must remain positive and far below float rounding of
+	// 1 − CDF: at 0.5 the Gaussian alone is ~25σ−2.5UI... the shifted
+	// components put the nearest mass at (0.5−0.05)/0.02 = 22.5σ.
+	tail := s.TailAbove(0.5)
+	if tail <= 0 || tail > 1e-80 {
+		t.Fatalf("deep tail = %g", tail)
+	}
+	// Symmetry of both components around 0.
+	if d := math.Abs(s.TailBelow(-0.5) - tail); d > tail*1e-6 {
+		t.Fatalf("tail asymmetry %g vs %g", s.TailBelow(-0.5), tail)
+	}
+	// Consistency between the CDF and tails at moderate x.
+	for _, x := range []float64{-0.06, 0, 0.03} {
+		if d := math.Abs(s.TailBelow(x) - s.CDF(x)); d > 1e-12 {
+			t.Fatalf("TailBelow/CDF mismatch at %g: %g", x, d)
+		}
+		if d := math.Abs(s.TailAbove(x) + s.CDF(x) - 1); d > 1e-12 {
+			t.Fatalf("TailAbove complement broken at %g by %g", x, d)
+		}
+	}
+}
+
+func TestSumLawValidation(t *testing.T) {
+	if _, err := NewSumLaw(nil, Delta(1, 0)); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewSumLaw(NewGaussian(0, 1), nil); err == nil {
+		t.Error("nil PMF accepted")
+	}
+}

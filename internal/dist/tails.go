@@ -1,0 +1,29 @@
+package dist
+
+// Tailer is implemented by continuous laws that can evaluate deep tail
+// probabilities without the catastrophic cancellation of 1 − CDF(x).
+// Gaussian implements it via erfc; BER computations rely on it to resolve
+// probabilities down to ~1e−300.
+type Tailer interface {
+	// TailAbove returns P(X > x).
+	TailAbove(x float64) float64
+	// TailBelow returns P(X ≤ x).
+	TailBelow(x float64) float64
+}
+
+// TailAbove returns P(X > x), using the law's Tailer implementation when
+// available and 1 − CDF(x) otherwise.
+func TailAbove(c Continuous, x float64) float64 {
+	if t, ok := c.(Tailer); ok {
+		return t.TailAbove(x)
+	}
+	return 1 - c.CDF(x)
+}
+
+// TailBelow returns P(X ≤ x) with the same dispatch as TailAbove.
+func TailBelow(c Continuous, x float64) float64 {
+	if t, ok := c.(Tailer); ok {
+		return t.TailBelow(x)
+	}
+	return c.CDF(x)
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// TestModelTopologyMatchesFig2 verifies that the exported FSM network has
+// exactly the compositional structure of the paper's Figure 2: four
+// machines (data statistics, phase detector, up/down counter, phase
+// error) and three stochastic sources (the bit process driving the data
+// FSM, the eye jitter n_w into the phase detector, and n_r into the phase
+// error), wired data→PD, PD→counter, counter→phase, phase→PD.
+func TestModelTopologyMatchesFig2(t *testing.T) {
+	spec := BaseSpec()
+	m, err := core.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := dist.Quantize(spec.EyeJitter, spec.GridStep, -6, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := m.AsNetwork(nw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumMachines() != 4 {
+		t.Fatalf("machines = %d, want 4", net.NumMachines())
+	}
+	for _, name := range []string{"data", "pd", "counter", "phase"} {
+		if net.Machine(name) == nil {
+			t.Errorf("missing machine %q", name)
+		}
+	}
+	for _, name := range []string{"bitflip", "nw", "nr"} {
+		if net.Source(name) == nil {
+			t.Errorf("missing source %q", name)
+		}
+	}
+	dot := net.DOT()
+	for _, wire := range []string{
+		`"m_data" -> "m_pd"`,
+		`"m_pd" -> "m_counter"`,
+		`"m_counter" -> "m_phase"`,
+		`"m_phase" -> "m_pd"`, // the Moore feedback closing the loop
+		`"src_nw" -> "m_pd"`,
+		`"src_nr" -> "m_phase"`,
+		`"src_bitflip" -> "m_data"`,
+	} {
+		if !strings.Contains(dot, wire) {
+			t.Errorf("DOT missing wire %s:\n%s", wire, dot)
+		}
+	}
+	// The product chain over this network is a Markov chain (built and
+	// checked stochastic by construction).
+	ch, err := net.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.States) == 0 {
+		t.Fatal("empty reachable chain")
+	}
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// Sinusoidal jitter tolerance. The paper notes that deterministic
+// sinusoidally varying jitter can be mimicked "by assigning the amplitude
+// distribution of n_r appropriately" — the amplitude law of A·sin(θ) with
+// uniform phase is the arcsine distribution (dist.Sinusoidal). These
+// helpers inject an arcsine jitter component of amplitude A into either
+// noise slot and search for the largest A that still meets a BER target,
+// producing the jitter-tolerance figure a receiver datasheet quotes.
+
+// SJSlot selects which noise input carries the sinusoidal jitter.
+type SJSlot int
+
+// Sinusoidal-jitter injection slots.
+const (
+	// SJEye adds the jitter to n_w: each bit's sampling position moves by
+	// an independent arcsine-distributed amount — appropriate for jitter
+	// far above the loop bandwidth (the loop cannot track it).
+	SJEye SJSlot = iota
+	// SJDrift convolves the arcsine PMF into n_r, the paper's suggestion:
+	// the jitter accumulates into the phase error like low-frequency
+	// wander that the loop must track.
+	SJDrift
+)
+
+// WithSinusoidalJitter returns spec with an arcsine jitter component of
+// the given amplitude (UI) injected into the selected slot.
+func WithSinusoidalJitter(spec core.Spec, amp float64, slot SJSlot) (core.Spec, error) {
+	if amp < 0 {
+		return core.Spec{}, errors.New("experiments: negative SJ amplitude")
+	}
+	if amp == 0 {
+		return spec, nil
+	}
+	k := int(amp/spec.GridStep) + 1
+	sj, err := dist.Quantize(dist.NewSinusoidal(amp), spec.GridStep, -k, k)
+	if err != nil {
+		return core.Spec{}, err
+	}
+	switch slot {
+	case SJEye:
+		law, err := dist.NewSumLaw(spec.EyeJitter, sj)
+		if err != nil {
+			return core.Spec{}, err
+		}
+		spec.EyeJitter = law
+	case SJDrift:
+		drift, err := spec.Drift.Convolve(sj)
+		if err != nil {
+			return core.Spec{}, err
+		}
+		spec.Drift = drift.Trim()
+	default:
+		return core.Spec{}, fmt.Errorf("experiments: unknown SJ slot %d", slot)
+	}
+	return spec, spec.Validate()
+}
+
+// BERWithSJ builds and solves the model with the given sinusoidal jitter
+// amplitude and returns its BER.
+func BERWithSJ(spec core.Spec, amp float64, slot SJSlot) (float64, error) {
+	s, err := WithSinusoidalJitter(spec, amp, slot)
+	if err != nil {
+		return 0, err
+	}
+	m, err := core.Build(s)
+	if err != nil {
+		return 0, err
+	}
+	a, err := m.Solve(core.SolveOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return a.BER, nil
+}
+
+// JitterTolerance finds, by bisection, the largest sinusoidal jitter
+// amplitude (UI, up to maxAmp) whose BER stays at or below target. It
+// returns 0 when the jitter-free BER already violates the target, and
+// maxAmp when even maxAmp passes. tolUI sets the bisection resolution.
+func JitterTolerance(spec core.Spec, target float64, slot SJSlot, maxAmp, tolUI float64) (float64, error) {
+	if target <= 0 || maxAmp <= 0 || tolUI <= 0 {
+		return 0, errors.New("experiments: positive target, maxAmp and tolUI required")
+	}
+	base, err := BERWithSJ(spec, 0, slot)
+	if err != nil {
+		return 0, err
+	}
+	if base > target {
+		return 0, nil
+	}
+	top, err := BERWithSJ(spec, maxAmp, slot)
+	if err != nil {
+		return 0, err
+	}
+	if top <= target {
+		return maxAmp, nil
+	}
+	lo, hi := 0.0, maxAmp
+	for hi-lo > tolUI {
+		mid := (lo + hi) / 2
+		ber, err := BERWithSJ(spec, mid, slot)
+		if err != nil {
+			return 0, err
+		}
+		if ber <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// smallSpec is a fast model for the jitter-tolerance searches.
+func smallSpec(t testing.TB) core.Spec {
+	t.Helper()
+	h := 1.0 / 16
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: h / 16, Shape: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.5,
+		CorrectionStep:    2 * h,
+		TransitionDensity: 0.5,
+		MaxRunLength:      2,
+		EyeJitter:         dist.NewGaussian(0, 0.05),
+		Drift:             drift,
+		CounterLen:        3,
+		Threshold:         0.5,
+	}
+}
+
+func TestWithSinusoidalJitterSlots(t *testing.T) {
+	spec := smallSpec(t)
+	for _, slot := range []SJSlot{SJEye, SJDrift} {
+		s, err := WithSinusoidalJitter(spec, 0.1, slot)
+		if err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("slot %d: %v", slot, err)
+		}
+	}
+	// Amplitude zero is the identity.
+	s, err := WithSinusoidalJitter(spec, 0, SJEye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EyeJitter != spec.EyeJitter {
+		t.Error("zero amplitude changed the law")
+	}
+	if _, err := WithSinusoidalJitter(spec, -1, SJEye); err == nil {
+		t.Error("negative amplitude accepted")
+	}
+	if _, err := WithSinusoidalJitter(spec, 0.1, SJSlot(99)); err == nil {
+		t.Error("unknown slot accepted")
+	}
+}
+
+func TestBERIncreasesWithSJAmplitude(t *testing.T) {
+	spec := smallSpec(t)
+	for _, slot := range []SJSlot{SJEye, SJDrift} {
+		prev := -1.0
+		for _, amp := range []float64{0, 0.1, 0.2} {
+			ber, err := BERWithSJ(spec, amp, slot)
+			if err != nil {
+				t.Fatalf("slot %d amp %g: %v", slot, amp, err)
+			}
+			if ber <= prev {
+				t.Fatalf("slot %d: BER not increasing at amp %g: %g <= %g", slot, amp, ber, prev)
+			}
+			prev = ber
+		}
+	}
+}
+
+func TestJitterTolerance(t *testing.T) {
+	spec := smallSpec(t)
+	base, err := BERWithSJ(spec, 0, SJEye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := 100 * base
+	tol, err := JitterTolerance(spec, target, SJEye, 0.4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol <= 0 || tol >= 0.4 {
+		t.Fatalf("tolerance = %g UI", tol)
+	}
+	// The found amplitude meets the target; a step beyond violates it.
+	at, err := BERWithSJ(spec, tol, SJEye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at > target {
+		t.Fatalf("BER %g at tolerance exceeds target %g", at, target)
+	}
+	beyond, err := BERWithSJ(spec, tol+0.02, SJEye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beyond <= target {
+		t.Fatalf("BER %g beyond tolerance still meets target %g", beyond, target)
+	}
+}
+
+func TestJitterToleranceEdgeCases(t *testing.T) {
+	spec := smallSpec(t)
+	base, err := BERWithSJ(spec, 0, SJEye)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unreachable target: zero tolerance.
+	tol, err := JitterTolerance(spec, base/10, SJEye, 0.3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol != 0 {
+		t.Fatalf("tolerance %g for unreachable target", tol)
+	}
+	// Trivial target: full amplitude passes.
+	tol, err = JitterTolerance(spec, 0.9, SJEye, 0.1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tol != 0.1 {
+		t.Fatalf("tolerance %g for trivial target", tol)
+	}
+	if _, err := JitterTolerance(spec, 0, SJEye, 0.1, 0.01); err == nil {
+		t.Error("zero target accepted")
+	}
+}

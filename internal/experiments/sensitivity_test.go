@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// varySigma returns the smallSpec family parameterized by the eye-jitter
+// standard deviation.
+func varySigma(t testing.TB) func(float64) core.Spec {
+	t.Helper()
+	base := smallSpec(t)
+	return func(sigma float64) core.Spec {
+		s := base
+		s.EyeJitter = dist.NewGaussian(0, sigma)
+		return s
+	}
+}
+
+func TestBERSensitivityMatchesFullFD(t *testing.T) {
+	vary := varySigma(t)
+	theta0, h := 0.08, 1e-4
+	res, err := BERSensitivity(vary, theta0, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: central differences of the fully re-solved BER.
+	ber := func(sigma float64) float64 {
+		m, err := core.Build(vary(sigma))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := m.SolveDirect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.BER(pi)
+	}
+	fd := (ber(theta0+h) - ber(theta0-h)) / (2 * h)
+	if rel := math.Abs(res.Total-fd) / math.Abs(fd); rel > 1e-3 {
+		t.Fatalf("sensitivity %g vs full FD %g (rel %g)", res.Total, fd, rel)
+	}
+	// More eye jitter must hurt, through both channels.
+	if res.Total <= 0 || res.ViaErrorProb <= 0 {
+		t.Fatalf("unexpected signs: %+v", res)
+	}
+}
+
+func TestBERSensitivityDriftMean(t *testing.T) {
+	base := smallSpec(t)
+	vary := func(mean float64) core.Spec {
+		s := base
+		d, err := dist.DriftPMF(dist.DriftSpec{
+			Step: s.GridStep, Max: 2 * s.GridStep, Mean: mean, Shape: 0.2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Drift = d
+		return s
+	}
+	res, err := BERSensitivity(vary, 0.002, 1e-5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A drift-mean change acts only through the loop dynamics: the error
+	// tails are untouched, so the error-probability channel vanishes.
+	if res.ViaErrorProb != 0 {
+		t.Fatalf("drift mean leaked into the error channel: %g", res.ViaErrorProb)
+	}
+	if res.Total <= 0 {
+		t.Fatalf("more drift should raise the BER: %+v", res)
+	}
+}
+
+func TestBERSensitivityValidation(t *testing.T) {
+	vary := varySigma(t)
+	if _, err := BERSensitivity(vary, 0.08, 0); err == nil {
+		t.Error("zero step accepted")
+	}
+	// A family that turns invalid on the minus side of the FD stencil.
+	base0 := smallSpec(t)
+	densityVary := func(p float64) core.Spec {
+		s := base0
+		s.TransitionDensity = p
+		return s
+	}
+	if _, err := BERSensitivity(densityVary, 0.00005, 1e-4); err == nil {
+		t.Error("invalid spec family accepted")
+	}
+	// A parameter that changes the state space is rejected.
+	base := smallSpec(t)
+	badVary := func(pm float64) core.Spec {
+		s := base
+		s.PhaseMax = pm
+		return s
+	}
+	if _, err := BERSensitivity(badVary, 0.5, 1.0/16); err == nil {
+		t.Error("state-space-changing parameter accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// Discretization and design-space studies.
+
+// GridPoint is one row of a grid-convergence study.
+type GridPoint struct {
+	// GridDenom is 1/h.
+	GridDenom int
+	// States is the model size at this resolution.
+	States int
+	// BER is the converged bit error rate.
+	BER float64
+	// Cycles is the multigrid cycle count.
+	Cycles int
+}
+
+// GridStudy quantifies the discretization error the paper's grid-fineness
+// requirement controls: the same *physical* model — a continuous
+// (Gaussian) accumulating noise with fixed mean and sigma, quantized onto
+// each grid — is solved at successive resolutions. As h shrinks, the
+// quantized dynamics approach the continuous ones and the BER converges;
+// successive differences |BER(h/2) − BER(h)| should fall. nrSigma must be
+// resolvable on the coarsest grid (σ_r ≳ h/3): a frozen quantized n_r
+// degenerates the dynamics — the grid-fineness requirement the paper
+// states for capturing "the small jumps in phase error due to n_r".
+func GridStudy(denoms []int, nrMean, nrSigma, eyeSigma float64, counterLen int) ([]GridPoint, error) {
+	if len(denoms) < 2 {
+		return nil, errors.New("experiments: need at least two resolutions")
+	}
+	var out []GridPoint
+	for _, denom := range denoms {
+		if denom < 8 {
+			return nil, fmt.Errorf("experiments: grid denom %d too coarse", denom)
+		}
+		h := 1.0 / float64(denom)
+		// Quantize the physical n_r onto this grid, spanning ±5σ around
+		// the mean (plus the mean itself).
+		span := int(math.Ceil((math.Abs(nrMean) + 5*nrSigma) / h))
+		if span < 1 {
+			span = 1
+		}
+		drift, err := dist.Quantize(dist.NewGaussian(nrMean, nrSigma), h, -span, span)
+		if err != nil {
+			return nil, err
+		}
+		spec := core.Spec{
+			GridStep:          h,
+			PhaseMax:          0.75,
+			CorrectionStep:    1.0 / 16,
+			TransitionDensity: 0.5,
+			MaxRunLength:      4,
+			EyeJitter:         dist.NewGaussian(0, eyeSigma),
+			Drift:             drift.Trim(),
+			CounterLen:        counterLen,
+			Threshold:         0.5,
+		}
+		p, err := RunPanel(spec)
+		if err != nil {
+			return nil, fmt.Errorf("grid 1/%d: %w", denom, err)
+		}
+		out = append(out, GridPoint{
+			GridDenom: denom,
+			States:    p.Model.NumStates(),
+			BER:       p.Analysis.BER,
+			Cycles:    p.Analysis.Multigrid.Cycles,
+		})
+	}
+	return out, nil
+}
+
+// CounterPoint is one row of a counter-length design sweep.
+type CounterPoint struct {
+	CounterLen int
+	BER        float64
+	// MeanTimeBetweenSlips is the flux-based slip interval.
+	MeanTimeBetweenSlips float64
+}
+
+// OptimalCounter evaluates the BER across candidate loop-filter lengths
+// and returns the sweep together with the index of the best length — the
+// design computation the paper's conclusion says the method enables
+// ("there is an optimal counter length for given levels of noise, the
+// computation of which is enabled by the accurate and efficient analysis
+// method").
+func OptimalCounter(mkSpec func(counterLen int) core.Spec, lengths []int) ([]CounterPoint, int, error) {
+	if len(lengths) == 0 {
+		return nil, 0, errors.New("experiments: no candidate lengths")
+	}
+	out := make([]CounterPoint, 0, len(lengths))
+	best := 0
+	for i, l := range lengths {
+		p, err := RunPanel(mkSpec(l))
+		if err != nil {
+			return nil, 0, fmt.Errorf("counter %d: %w", l, err)
+		}
+		out = append(out, CounterPoint{
+			CounterLen:           l,
+			BER:                  p.Analysis.BER,
+			MeanTimeBetweenSlips: p.Slip.MeanTimeBetween,
+		})
+		if p.Analysis.BER < out[best].BER {
+			best = i
+		}
+	}
+	return out, best, nil
+}

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+func TestGridStudyConverges(t *testing.T) {
+	// σ_r must stay resolvable on the coarsest grid (σ_r ≳ h/3), or the
+	// quantized n_r freezes and the dynamics degenerate.
+	points, err := GridStudy([]int{16, 32, 64}, 0.0005, 0.012, 0.08, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].States <= points[i-1].States {
+			t.Error("refinement did not grow the state space")
+		}
+		if points[i].BER <= 0 || points[i].BER >= 1 {
+			t.Fatalf("BER out of range: %+v", points[i])
+		}
+	}
+	// Successive differences shrink: the h -> h/2 jump dominates the
+	// h/2 -> h/4 jump.
+	d1 := math.Abs(points[1].BER - points[0].BER)
+	d2 := math.Abs(points[2].BER - points[1].BER)
+	if d2 >= d1 {
+		t.Fatalf("no grid convergence: |ΔBER| %g -> %g (BERs %g, %g, %g)",
+			d1, d2, points[0].BER, points[1].BER, points[2].BER)
+	}
+}
+
+func TestGridStudyValidation(t *testing.T) {
+	if _, err := GridStudy([]int{32}, 0, 0.01, 0.05, 4); err == nil {
+		t.Error("single resolution accepted")
+	}
+	if _, err := GridStudy([]int{4, 8}, 0, 0.01, 0.05, 4); err == nil {
+		t.Error("too-coarse grid accepted")
+	}
+}
+
+func TestOptimalCounterFindsEight(t *testing.T) {
+	points, best, err := OptimalCounter(Fig5Spec, []int{2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[best].CounterLen != 8 {
+		t.Fatalf("optimal length = %d, want 8 (sweep: %+v)", points[best].CounterLen, points)
+	}
+	for _, p := range points {
+		if p.BER <= 0 || p.MeanTimeBetweenSlips <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}
+
+func TestOptimalCounterValidation(t *testing.T) {
+	if _, _, err := OptimalCounter(Fig5Spec, nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+}
+
+func TestOptimalCounterCustomSpec(t *testing.T) {
+	// A tiny custom spec family keeps this fast and exercises the
+	// callback form.
+	mk := func(l int) core.Spec {
+		h := 1.0 / 16
+		drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: h / 16, Shape: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Spec{
+			GridStep:          h,
+			PhaseMax:          0.5,
+			CorrectionStep:    2 * h,
+			TransitionDensity: 0.5,
+			MaxRunLength:      2,
+			EyeJitter:         dist.NewGaussian(0, 0.09),
+			Drift:             drift,
+			CounterLen:        l,
+			Threshold:         0.5,
+		}
+	}
+	points, best, err := OptimalCounter(mk, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 0 || best >= len(points) {
+		t.Fatalf("best index %d", best)
+	}
+	for i, p := range points {
+		if i != best && p.BER < points[best].BER {
+			t.Fatalf("best index wrong: %+v", points)
+		}
+	}
+}

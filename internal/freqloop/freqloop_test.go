@@ -1,0 +1,241 @@
+package freqloop
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// strongDriftBase returns a first-order spec whose drift (0.01 UI/bit)
+// exceeds the proportional path's tracking capacity G/(2L) ≈ 0.0078
+// UI/bit, so the first-order loop lags toward the decision threshold —
+// the regime the frequency path exists for.
+func strongDriftBase(t testing.TB) core.Spec {
+	t.Helper()
+	h := 1.0 / 32
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: 0.01, Shape: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.5,
+		CorrectionStep:    2 * h,
+		TransitionDensity: 0.5,
+		MaxRunLength:      2,
+		EyeJitter:         dist.NewGaussian(0, 0.06),
+		Drift:             drift,
+		CounterLen:        4,
+		Threshold:         0.5,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	base := strongDriftBase(t)
+	good := Spec{Base: base, FreqLen: 4, FreqStep: base.GridStep}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []Spec{
+		{Base: base, FreqLen: -1},
+		{Base: base, FreqLen: 2, FreqStep: 0},
+		{Base: base, FreqLen: 2, FreqStep: 0.7 * base.GridStep}, // not a multiple
+		{Base: base, FreqLen: 1, FreqStep: base.GridStep / 1e3}, // cannot reach drift -- invalid multiple too
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	bad := base
+	bad.GridStep = 0
+	if err := (Spec{Base: bad}).Validate(); err == nil {
+		t.Error("invalid base accepted")
+	}
+}
+
+// TestFreqLenZeroEqualsFirstOrder: with the frequency path disabled, the
+// extended model's TPM is entry-for-entry the first-order chain.
+func TestFreqLenZeroEqualsFirstOrder(t *testing.T) {
+	base := strongDriftBase(t)
+	first, err := core.Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Build(Spec{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.NumStates() != first.NumStates() {
+		t.Fatalf("state counts differ: %d vs %d", second.NumStates(), first.NumStates())
+	}
+	for i := 0; i < first.NumStates(); i++ {
+		c1, v1 := first.P.Row(i)
+		c2, v2 := second.P.Row(i)
+		if len(c1) != len(c2) {
+			t.Fatalf("row %d nnz %d vs %d", i, len(c1), len(c2))
+		}
+		for k := range c1 {
+			if c1[k] != c2[k] || math.Abs(v1[k]-v2[k]) > 1e-15 {
+				t.Fatalf("row %d entry %d differs", i, k)
+			}
+		}
+	}
+}
+
+func TestSecondOrderErgodicAndSolvable(t *testing.T) {
+	spec := Spec{Base: strongDriftBase(t), FreqLen: 4, FreqStep: strongDriftBase(t).GridStep}
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := m.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.IsErgodic() {
+		t.Fatal("second-order model not ergodic")
+	}
+	pi, res, err := m.Solve(1e-12, 200000)
+	if err != nil {
+		t.Fatalf("%v (%v)", err, res)
+	}
+	ref, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(pi[i]-ref[i]) > 1e-8 {
+			t.Fatalf("multigrid vs GTH at %d: %g vs %g", i, pi[i], ref[i])
+		}
+	}
+}
+
+// TestFrequencyPathCancelsDrift: the stationary register mean must supply
+// the drift compensation, and the phase lag (stationary mean phase) must
+// shrink dramatically relative to the first-order loop.
+func TestFrequencyPathCancelsDrift(t *testing.T) {
+	base := strongDriftBase(t)
+	spec := Spec{Base: base, FreqLen: 6, FreqStep: base.GridStep / 2}
+	if err := spec.Validate(); err == nil {
+		// FreqStep h/2 is not a grid multiple: expected invalid; use h.
+		t.Fatal("expected invalid half-step spec")
+	}
+	spec.FreqStep = base.GridStep
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := m.MeanFreqCorrection(pi)
+	driftMean := base.Drift.Mean()
+	// The integral path carries most of the drift compensation.
+	if comp > -0.5*driftMean {
+		t.Fatalf("integral path supplies %g of drift %g", -comp, driftMean)
+	}
+
+	meanPhase := func(marg []float64, phase func(int) float64) float64 {
+		mu := 0.0
+		for i, p := range marg {
+			mu += p * phase(i)
+		}
+		return mu
+	}
+	first, err := core.Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piF, err := first.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lagFirst := meanPhase(first.PhaseMarginal(piF), first.PhaseValue)
+	lagSecond := meanPhase(m.PhaseMarginal(pi), m.PhaseValue)
+	if math.Abs(lagSecond) > 0.5*math.Abs(lagFirst) {
+		t.Fatalf("second-order lag %g not below half the first-order lag %g",
+			lagSecond, lagFirst)
+	}
+}
+
+// TestSecondOrderImprovesBERUnderStrongDrift: with the drift beyond the
+// proportional path's capacity, a second-order loop with *modest*
+// register authority (F = 1, the per-bit correction one grid step) must
+// beat the first-order loop. Larger F is measurably worse — the bang-bang
+// integral path hunts with amplitude proportional to its authority — so
+// the register range is itself a design parameter this analysis can
+// optimize (see TestSecondOrderGainTradeOff).
+func TestSecondOrderImprovesBERUnderStrongDrift(t *testing.T) {
+	base := strongDriftBase(t)
+	first, err := core.Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piF, err := first.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	berFirst := first.BER(piF)
+
+	spec := Spec{Base: base, FreqLen: 1, FreqStep: base.GridStep}
+	m, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piS, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	berSecond := m.BER(piS)
+	if berSecond >= berFirst/2 {
+		t.Fatalf("second order did not clearly improve BER: %g vs %g", berSecond, berFirst)
+	}
+}
+
+// TestSecondOrderGainTradeOff: excessive register authority hunts — the
+// phase spread (and BER) grows with F once the drift is compensated.
+func TestSecondOrderGainTradeOff(t *testing.T) {
+	base := strongDriftBase(t)
+	ber := func(f int) float64 {
+		m, err := Build(Spec{Base: base, FreqLen: f, FreqStep: base.GridStep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, _, err := m.Solve(1e-11, 500000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.BER(pi)
+	}
+	if b1, b3 := ber(1), ber(3); b3 <= b1 {
+		t.Fatalf("hunting penalty missing: BER(F=3)=%g <= BER(F=1)=%g", b3, b1)
+	}
+}
+
+func TestFreqMarginalSums(t *testing.T) {
+	base := strongDriftBase(t)
+	m, err := Build(Spec{Base: base, FreqLen: 3, FreqStep: base.GridStep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.SolveDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, marg := range [][]float64{m.PhaseMarginal(pi), m.FreqMarginal(pi)} {
+		sum := 0.0
+		for _, v := range marg {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("marginal sums to %g", sum)
+		}
+	}
+	if m.FreqValue(0) != -3 || m.FreqValue(m.Fn-1) != 3 {
+		t.Error("FreqValue endpoints wrong")
+	}
+}

@@ -1,0 +1,199 @@
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"cdrstoch/internal/spmat"
+)
+
+// Chain is the Markov chain induced by a network's synchronous product,
+// restricted to the states reachable from the initial state tuple.
+type Chain struct {
+	// P is the row-stochastic transition probability matrix over reachable
+	// states.
+	P *spmat.CSR
+	// States[i] holds the machine-state tuple of reachable state i, in
+	// machine registration order.
+	States [][]int
+	// Index maps an encoded tuple (mixed-radix over machine state counts)
+	// to its reachable-state index.
+	Index map[uint64]int
+	// Initial is the reachable-state index of the initial tuple.
+	Initial int
+
+	radices []uint64
+}
+
+// Encode packs a machine-state tuple into the mixed-radix key used by
+// Chain.Index.
+func (c *Chain) Encode(tuple []int) uint64 {
+	var key uint64
+	for i, s := range tuple {
+		key += uint64(s) * c.radices[i]
+	}
+	return key
+}
+
+// StateIndex returns the reachable index of a tuple, or -1.
+func (c *Chain) StateIndex(tuple []int) int {
+	if idx, ok := c.Index[c.Encode(tuple)]; ok {
+		return idx
+	}
+	return -1
+}
+
+// BuildChain explores the reachable product state space with BFS and
+// assembles the transition probability matrix. For each global state it
+// enumerates the cartesian product of source symbols (skipping zero-
+// probability symbols) and accumulates the joint probability onto the
+// successor tuple — the explicit form of the paper's equation (4).
+func (n *Network) BuildChain() (*Chain, error) {
+	if err := n.Finalize(); err != nil {
+		return nil, err
+	}
+	if len(n.machines) == 0 {
+		return nil, errors.New("fsm: empty network")
+	}
+	// Mixed-radix encoding over machine state counts; guard overflow.
+	radices := make([]uint64, len(n.machines))
+	prod := uint64(1)
+	for i, m := range n.machines {
+		radices[i] = prod
+		next := prod * uint64(m.NumStates)
+		if next/uint64(m.NumStates) != prod {
+			return nil, errors.New("fsm: product state space exceeds 64-bit encoding")
+		}
+		prod = next
+	}
+
+	// Enumerate source symbol combinations with nonzero probability once.
+	type combo struct {
+		sym  []int
+		prob float64
+	}
+	combos := []combo{{sym: make([]int, len(n.sources)), prob: 1}}
+	for si, s := range n.sources {
+		var next []combo
+		for sym, p := range s.Prob {
+			if p == 0 {
+				continue
+			}
+			for _, c := range combos {
+				ns := make([]int, len(c.sym))
+				copy(ns, c.sym)
+				ns[si] = sym
+				next = append(next, combo{sym: ns, prob: c.prob * p})
+			}
+		}
+		combos = next
+		if len(combos) == 0 {
+			return nil, fmt.Errorf("fsm: source %q has no usable symbols", s.Name)
+		}
+	}
+
+	init := make([]int, len(n.machines))
+	for i, m := range n.machines {
+		init[i] = m.Initial
+	}
+	ch := &Chain{Index: map[uint64]int{}, radices: radices}
+	ch.Index[ch.Encode(init)] = 0
+	ch.States = append(ch.States, init)
+	ch.Initial = 0
+
+	type edge struct {
+		from, to int
+		p        float64
+	}
+	var edges []edge
+	next := make([]int, len(n.machines))
+	for head := 0; head < len(ch.States); head++ {
+		state := ch.States[head]
+		for _, c := range combos {
+			n.step(state, c.sym, next)
+			key := ch.Encode(next)
+			to, ok := ch.Index[key]
+			if !ok {
+				to = len(ch.States)
+				ch.Index[key] = to
+				tuple := make([]int, len(next))
+				copy(tuple, next)
+				ch.States = append(ch.States, tuple)
+			}
+			edges = append(edges, edge{from: head, to: to, p: c.prob})
+		}
+	}
+
+	tr := spmat.NewTriplet(len(ch.States), len(ch.States))
+	tr.Reserve(len(edges))
+	for _, e := range edges {
+		tr.Add(e.from, e.to, e.p)
+	}
+	ch.P = tr.ToCSR()
+	if err := ch.P.CheckStochastic(1e-9); err != nil {
+		return nil, fmt.Errorf("fsm: assembled chain is not stochastic: %w", err)
+	}
+	return ch, nil
+}
+
+// StateLabel renders a human-readable label for reachable state i using the
+// machines' StateName hooks where available.
+func (n *Network) StateLabel(c *Chain, i int) string {
+	parts := make([]string, len(n.machines))
+	for mi, m := range n.machines {
+		s := c.States[i][mi]
+		if m.StateName != nil {
+			parts[mi] = fmt.Sprintf("%s=%s", m.Name, m.StateName(s))
+		} else {
+			parts[mi] = fmt.Sprintf("%s=%d", m.Name, s)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// DOT renders the network's compositional structure (paper Figure 2) in
+// Graphviz dot syntax: sources as ellipses, machines as boxes, wires as
+// labeled edges.
+func (n *Network) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph cdr {\n  rankdir=LR;\n")
+	for _, s := range n.sources {
+		label := s.Name
+		if s.SymbolName != nil && len(s.Prob) <= 4 {
+			names := make([]string, len(s.Prob))
+			for sym := range s.Prob {
+				names[sym] = s.SymbolName(sym)
+			}
+			label = fmt.Sprintf("%s\\n{%s}", s.Name, strings.Join(names, ","))
+		} else {
+			label = fmt.Sprintf("%s\\n(%d symbols)", s.Name, len(s.Prob))
+		}
+		fmt.Fprintf(&b, "  %q [shape=ellipse,label=%q];\n", "src_"+s.Name, label)
+	}
+	for _, m := range n.machines {
+		shape := "box"
+		kind := "Mealy"
+		if m.Moore {
+			kind = "Moore"
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s,label=\"%s\\n(%d states, %s)\"];\n",
+			"m_"+m.Name, shape, m.Name, m.NumStates, kind)
+	}
+	for mi, m := range n.machines {
+		for pi, ep := range n.wiring[mi] {
+			var from string
+			switch ep.Kind {
+			case FromSource:
+				from = "src_" + ep.Name
+			case FromMachine:
+				from = "m_" + ep.Name
+			default:
+				continue
+			}
+			fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", from, "m_"+m.Name, m.Inputs[pi].Name)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

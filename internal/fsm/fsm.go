@@ -1,0 +1,358 @@
+// Package fsm implements the paper's modeling formalism: networks of
+// finite state machines whose inputs are either outputs of other machines
+// or stochastic sources (random symbols drawn from fixed distributions —
+// "functions on a Markov chain state-space"). The synchronous product of
+// such a network is itself a Markov chain; BuildChain assembles its
+// transition probability matrix over the reachable state space.
+//
+// The CDR model of the paper's Figure 2 is one such network: a data-source
+// machine, a phase detector, an up/down counter and a phase-error
+// integrator, driven by the stochastic sources n_w and n_r. Package core
+// builds that model directly (with the eye jitter n_w handled through
+// exact CDFs), and uses this package both to export the compositional
+// structure and to cross-validate the direct construction against a fully
+// discretized network.
+package fsm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Port describes one input of a machine: a name and the size of the finite
+// alphabet it accepts.
+type Port struct {
+	Name string
+	// Size is the alphabet size; wired symbols must lie in [0, Size).
+	Size int
+}
+
+// Machine is a synchronous finite state machine. If Moore is true the
+// output depends on the state only, which breaks combinational feedback
+// loops in a network (the phase-error machine in the CDR model is Moore:
+// its quantized phase feeds back into the phase detector).
+type Machine struct {
+	Name string
+	// NumStates is the size of the state space.
+	NumStates int
+	// Inputs lists the machine's input ports in positional order.
+	Inputs []Port
+	// OutSize is the alphabet size of the single output.
+	OutSize int
+	// Moore marks the output as state-only (in is ignored by Out).
+	Moore bool
+	// Next returns the successor state given the current state and one
+	// symbol per input port.
+	Next func(state int, in []int) int
+	// Out returns the output symbol. For Moore machines it is called with
+	// a nil input slice.
+	Out func(state int, in []int) int
+	// Initial is the initial state.
+	Initial int
+	// StateName optionally labels states for diagnostics and DOT export.
+	StateName func(state int) string
+}
+
+// validate checks structural sanity of a machine definition.
+func (m *Machine) validate() error {
+	if m.Name == "" {
+		return errors.New("fsm: machine with empty name")
+	}
+	if m.NumStates <= 0 {
+		return fmt.Errorf("fsm: machine %q has %d states", m.Name, m.NumStates)
+	}
+	if m.Initial < 0 || m.Initial >= m.NumStates {
+		return fmt.Errorf("fsm: machine %q initial state %d out of range", m.Name, m.Initial)
+	}
+	if m.Next == nil {
+		return fmt.Errorf("fsm: machine %q has no Next function", m.Name)
+	}
+	if m.OutSize > 0 && m.Out == nil {
+		return fmt.Errorf("fsm: machine %q declares an output but no Out function", m.Name)
+	}
+	for _, p := range m.Inputs {
+		if p.Size <= 0 {
+			return fmt.Errorf("fsm: machine %q port %q has alphabet size %d", m.Name, p.Name, p.Size)
+		}
+	}
+	return nil
+}
+
+// Source is a stochastic input: at every clock tick it emits symbol s with
+// probability Prob[s], independently of everything else.
+type Source struct {
+	Name string
+	// Prob[s] is the probability of emitting symbol s.
+	Prob []float64
+	// SymbolName optionally labels symbols for DOT export.
+	SymbolName func(sym int) string
+}
+
+// validate checks that the source is a probability distribution.
+func (s *Source) validate() error {
+	if s.Name == "" {
+		return errors.New("fsm: source with empty name")
+	}
+	if len(s.Prob) == 0 {
+		return fmt.Errorf("fsm: source %q has empty alphabet", s.Name)
+	}
+	total := 0.0
+	for sym, p := range s.Prob {
+		if p < 0 {
+			return fmt.Errorf("fsm: source %q symbol %d has negative probability", s.Name, sym)
+		}
+		total += p
+	}
+	if total <= 0 {
+		return fmt.Errorf("fsm: source %q has zero total mass", s.Name)
+	}
+	return nil
+}
+
+// Endpoint names a signal producer in a network: either a machine's output
+// or a stochastic source.
+type Endpoint struct {
+	// Kind selects the producer type.
+	Kind EndpointKind
+	// Name is the machine or source name.
+	Name string
+}
+
+// EndpointKind discriminates Endpoint producers.
+type EndpointKind int
+
+// Endpoint kinds.
+const (
+	FromSource EndpointKind = iota
+	FromMachine
+)
+
+// SourceOut returns an endpoint referring to a stochastic source.
+func SourceOut(name string) Endpoint { return Endpoint{Kind: FromSource, Name: name} }
+
+// MachineOut returns an endpoint referring to a machine output.
+func MachineOut(name string) Endpoint { return Endpoint{Kind: FromMachine, Name: name} }
+
+// Network is a closed synchronous composition: every machine input port is
+// wired to exactly one endpoint.
+type Network struct {
+	machines []*Machine
+	sources  []*Source
+	byName   map[string]int // machine name -> index
+	srcByNm  map[string]int // source name -> index
+	// wiring[mi][pi] is the endpoint feeding port pi of machine mi.
+	wiring [][]Endpoint
+	// eval is the machine evaluation order (indices), Mealy-dependency
+	// topological; computed by Finalize.
+	eval      []int
+	finalized bool
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{byName: map[string]int{}, srcByNm: map[string]int{}}
+}
+
+// AddMachine registers a machine. Names must be unique across machines.
+func (n *Network) AddMachine(m *Machine) error {
+	if n.finalized {
+		return errors.New("fsm: network already finalized")
+	}
+	if err := m.validate(); err != nil {
+		return err
+	}
+	if _, dup := n.byName[m.Name]; dup {
+		return fmt.Errorf("fsm: duplicate machine %q", m.Name)
+	}
+	n.byName[m.Name] = len(n.machines)
+	n.machines = append(n.machines, m)
+	n.wiring = append(n.wiring, make([]Endpoint, len(m.Inputs)))
+	for i := range n.wiring[len(n.wiring)-1] {
+		n.wiring[len(n.wiring)-1][i] = Endpoint{Kind: -1}
+	}
+	return nil
+}
+
+// AddSource registers a stochastic source. Names must be unique across
+// sources.
+func (n *Network) AddSource(s *Source) error {
+	if n.finalized {
+		return errors.New("fsm: network already finalized")
+	}
+	if err := s.validate(); err != nil {
+		return err
+	}
+	if _, dup := n.srcByNm[s.Name]; dup {
+		return fmt.Errorf("fsm: duplicate source %q", s.Name)
+	}
+	n.srcByNm[s.Name] = len(n.sources)
+	n.sources = append(n.sources, s)
+	return nil
+}
+
+// Connect wires endpoint ep into input port portName of machine machineName.
+func (n *Network) Connect(machineName, portName string, ep Endpoint) error {
+	if n.finalized {
+		return errors.New("fsm: network already finalized")
+	}
+	mi, ok := n.byName[machineName]
+	if !ok {
+		return fmt.Errorf("fsm: unknown machine %q", machineName)
+	}
+	m := n.machines[mi]
+	pi := -1
+	for i, p := range m.Inputs {
+		if p.Name == portName {
+			pi = i
+			break
+		}
+	}
+	if pi < 0 {
+		return fmt.Errorf("fsm: machine %q has no port %q", machineName, portName)
+	}
+	var alphabet int
+	switch ep.Kind {
+	case FromSource:
+		si, ok := n.srcByNm[ep.Name]
+		if !ok {
+			return fmt.Errorf("fsm: unknown source %q", ep.Name)
+		}
+		alphabet = len(n.sources[si].Prob)
+	case FromMachine:
+		omi, ok := n.byName[ep.Name]
+		if !ok {
+			return fmt.Errorf("fsm: unknown machine %q", ep.Name)
+		}
+		alphabet = n.machines[omi].OutSize
+		if alphabet == 0 {
+			return fmt.Errorf("fsm: machine %q has no output", ep.Name)
+		}
+	default:
+		return errors.New("fsm: invalid endpoint kind")
+	}
+	if alphabet > m.Inputs[pi].Size {
+		return fmt.Errorf("fsm: endpoint %q alphabet %d exceeds port %s.%s size %d",
+			ep.Name, alphabet, machineName, portName, m.Inputs[pi].Size)
+	}
+	n.wiring[mi][pi] = ep
+	return nil
+}
+
+// Finalize checks that every port is wired and computes a combinational
+// evaluation order. Mealy outputs depend on resolved inputs, so a Mealy
+// machine must be evaluated after its producers; Moore outputs are
+// available immediately. A combinational cycle through Mealy machines is
+// an error (insert a Moore machine to break it, as real hardware would
+// insert a register).
+func (n *Network) Finalize() error {
+	if n.finalized {
+		return nil
+	}
+	for mi, m := range n.machines {
+		for pi := range m.Inputs {
+			if n.wiring[mi][pi].Kind != FromSource && n.wiring[mi][pi].Kind != FromMachine {
+				return fmt.Errorf("fsm: port %s.%s is unwired", m.Name, m.Inputs[pi].Name)
+			}
+		}
+	}
+	// Kahn topological sort on Mealy dependencies.
+	indeg := make([]int, len(n.machines))
+	deps := make([][]int, len(n.machines)) // producer -> consumers
+	for mi := range n.machines {
+		for _, ep := range n.wiring[mi] {
+			if ep.Kind == FromMachine {
+				p := n.byName[ep.Name]
+				if !n.machines[p].Moore {
+					deps[p] = append(deps[p], mi)
+					indeg[mi]++
+				}
+			}
+		}
+	}
+	queue := []int{}
+	for mi, d := range indeg {
+		if d == 0 {
+			queue = append(queue, mi)
+		}
+	}
+	sort.Ints(queue)
+	order := make([]int, 0, len(n.machines))
+	for len(queue) > 0 {
+		mi := queue[0]
+		queue = queue[1:]
+		order = append(order, mi)
+		for _, c := range deps[mi] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				queue = append(queue, c)
+			}
+		}
+	}
+	if len(order) != len(n.machines) {
+		return errors.New("fsm: combinational cycle through Mealy machines")
+	}
+	n.eval = order
+	n.finalized = true
+	return nil
+}
+
+// NumMachines returns the machine count.
+func (n *Network) NumMachines() int { return len(n.machines) }
+
+// Machine returns the machine registered under name, or nil.
+func (n *Network) Machine(name string) *Machine {
+	if mi, ok := n.byName[name]; ok {
+		return n.machines[mi]
+	}
+	return nil
+}
+
+// Source returns the source registered under name, or nil.
+func (n *Network) Source(name string) *Source {
+	if si, ok := n.srcByNm[name]; ok {
+		return n.sources[si]
+	}
+	return nil
+}
+
+// step resolves all wires and computes the successor of a global state for
+// one fixed assignment of source symbols. state and nextState are indexed
+// by machine position; out holds machine outputs; in is scratch.
+func (n *Network) step(state, srcSym, nextState []int) {
+	outs := make([]int, len(n.machines))
+	ready := make([]bool, len(n.machines))
+	// Moore outputs first: they depend on state only.
+	for mi, m := range n.machines {
+		if m.Moore && m.OutSize > 0 {
+			outs[mi] = m.Out(state[mi], nil)
+			ready[mi] = true
+		}
+	}
+	ins := make([][]int, len(n.machines))
+	for _, mi := range n.eval {
+		m := n.machines[mi]
+		in := make([]int, len(m.Inputs))
+		for pi, ep := range n.wiring[mi] {
+			switch ep.Kind {
+			case FromSource:
+				in[pi] = srcSym[n.srcByNm[ep.Name]]
+			case FromMachine:
+				p := n.byName[ep.Name]
+				if !ready[p] {
+					// Cannot happen after a successful Finalize.
+					panic("fsm: evaluation order violated")
+				}
+				in[pi] = outs[p]
+			}
+		}
+		ins[mi] = in
+		if !m.Moore && m.OutSize > 0 {
+			outs[mi] = m.Out(state[mi], in)
+			ready[mi] = true
+		}
+	}
+	for mi, m := range n.machines {
+		nextState[mi] = m.Next(state[mi], ins[mi])
+	}
+}

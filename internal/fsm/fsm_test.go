@@ -1,0 +1,437 @@
+package fsm
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// coin returns a Bernoulli(p) source over {0,1}.
+func coin(name string, p float64) *Source {
+	return &Source{Name: name, Prob: []float64{1 - p, p}}
+}
+
+// toggler is a 2-state machine that moves to the input symbol and outputs
+// its current state (Moore).
+func toggler(name string) *Machine {
+	return &Machine{
+		Name:      name,
+		NumStates: 2,
+		Inputs:    []Port{{Name: "in", Size: 2}},
+		OutSize:   2,
+		Moore:     true,
+		Next:      func(s int, in []int) int { return in[0] },
+		Out:       func(s int, _ []int) int { return s },
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	n := NewNetwork()
+	cases := []*Machine{
+		{Name: "", NumStates: 1, Next: func(int, []int) int { return 0 }},
+		{Name: "m", NumStates: 0, Next: func(int, []int) int { return 0 }},
+		{Name: "m", NumStates: 2, Initial: 5, Next: func(int, []int) int { return 0 }},
+		{Name: "m", NumStates: 2},
+		{Name: "m", NumStates: 2, OutSize: 2, Next: func(int, []int) int { return 0 }},
+		{Name: "m", NumStates: 2, Inputs: []Port{{Name: "x", Size: 0}}, Next: func(int, []int) int { return 0 }},
+	}
+	for i, m := range cases {
+		if err := n.AddMachine(m); err == nil {
+			t.Errorf("case %d: invalid machine accepted", i)
+		}
+	}
+}
+
+func TestSourceValidation(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddSource(&Source{Name: "", Prob: []float64{1}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := n.AddSource(&Source{Name: "s", Prob: nil}); err == nil {
+		t.Error("empty alphabet accepted")
+	}
+	if err := n.AddSource(&Source{Name: "s", Prob: []float64{-1, 2}}); err == nil {
+		t.Error("negative prob accepted")
+	}
+	if err := n.AddSource(&Source{Name: "s", Prob: []float64{0, 0}}); err == nil {
+		t.Error("zero mass accepted")
+	}
+	if err := n.AddSource(coin("s", 0.5)); err != nil {
+		t.Errorf("valid source rejected: %v", err)
+	}
+	if err := n.AddSource(coin("s", 0.5)); err == nil {
+		t.Error("duplicate source accepted")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("c", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("nope", "in", SourceOut("c")); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if err := n.Connect("t", "nope", SourceOut("c")); err == nil {
+		t.Error("unknown port accepted")
+	}
+	if err := n.Connect("t", "in", SourceOut("nope")); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := n.Connect("t", "in", MachineOut("nope")); err == nil {
+		t.Error("unknown machine output accepted")
+	}
+	// Alphabet overflow: wire a 3-symbol source into a 2-symbol port.
+	if err := n.AddSource(&Source{Name: "wide", Prob: []float64{0.3, 0.3, 0.4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("t", "in", SourceOut("wide")); err == nil {
+		t.Error("alphabet overflow accepted")
+	}
+	if err := n.Connect("t", "in", SourceOut("c")); err != nil {
+		t.Errorf("valid wire rejected: %v", err)
+	}
+}
+
+func TestFinalizeUnwiredPort(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err == nil {
+		t.Error("unwired port accepted")
+	}
+}
+
+func TestFinalizeMealyCycle(t *testing.T) {
+	mk := func(name string) *Machine {
+		return &Machine{
+			Name:      name,
+			NumStates: 2,
+			Inputs:    []Port{{Name: "in", Size: 2}},
+			OutSize:   2,
+			Moore:     false, // Mealy: output depends on input -> cycle
+			Next:      func(s int, in []int) int { return in[0] },
+			Out:       func(s int, in []int) int { return in[0] },
+		}
+	}
+	n := NewNetwork()
+	if err := n.AddMachine(mk("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddMachine(mk("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "in", MachineOut("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("b", "in", MachineOut("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err == nil {
+		t.Error("Mealy cycle accepted")
+	}
+}
+
+func TestMooreBreaksCycle(t *testing.T) {
+	moore := toggler("a") // Moore
+	mealy := &Machine{
+		Name:      "b",
+		NumStates: 2,
+		Inputs:    []Port{{Name: "in", Size: 2}},
+		OutSize:   2,
+		Next:      func(s int, in []int) int { return in[0] },
+		Out:       func(s int, in []int) int { return in[0] },
+	}
+	n := NewNetwork()
+	if err := n.AddMachine(moore); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddMachine(mealy); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "in", MachineOut("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("b", "in", MachineOut("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err != nil {
+		t.Errorf("Moore-broken cycle rejected: %v", err)
+	}
+}
+
+// TestSingleMachineChain checks the chain of one machine driven by a coin:
+// the machine copies the input, so the chain is a two-state chain with
+// P(s -> 1) = p regardless of s.
+func TestSingleMachineChain(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	p := 0.3
+	if err := n.AddSource(coin("c", p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("t", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.States) != 2 {
+		t.Fatalf("reachable states = %d, want 2", len(ch.States))
+	}
+	for i := 0; i < 2; i++ {
+		one := ch.StateIndex([]int{1})
+		zero := ch.StateIndex([]int{0})
+		if got := ch.P.At(i, one); math.Abs(got-p) > 1e-15 {
+			t.Errorf("P(%d->1) = %g", i, got)
+		}
+		if got := ch.P.At(i, zero); math.Abs(got-(1-p)) > 1e-15 {
+			t.Errorf("P(%d->0) = %g", i, got)
+		}
+	}
+}
+
+// TestProductChain composes two independent togglers and checks the product
+// transition probabilities factorize.
+func TestProductChain(t *testing.T) {
+	n := NewNetwork()
+	pa, pb := 0.2, 0.7
+	if err := n.AddMachine(toggler("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddMachine(toggler("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("ca", pa)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("cb", pb)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "in", SourceOut("ca")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("b", "in", SourceOut("cb")); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.States) != 4 {
+		t.Fatalf("reachable = %d, want 4", len(ch.States))
+	}
+	probOf := func(sym int, p float64) float64 {
+		if sym == 1 {
+			return p
+		}
+		return 1 - p
+	}
+	for from := 0; from < 4; from++ {
+		for _, sa := range []int{0, 1} {
+			for _, sb := range []int{0, 1} {
+				to := ch.StateIndex([]int{sa, sb})
+				want := probOf(sa, pa) * probOf(sb, pb)
+				if got := ch.P.At(from, to); math.Abs(got-want) > 1e-15 {
+					t.Errorf("P(%d->{%d,%d}) = %g, want %g", from, sa, sb, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWiredChain checks machine-to-machine wiring: b copies a's Moore
+// output (a's previous state), producing a delayed copy.
+func TestWiredChain(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("a")); err != nil {
+		t.Fatal(err)
+	}
+	b := &Machine{
+		Name:      "b",
+		NumStates: 2,
+		Inputs:    []Port{{Name: "in", Size: 2}},
+		Next:      func(s int, in []int) int { return in[0] },
+	}
+	if err := n.AddMachine(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("c", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("b", "in", MachineOut("a")); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From (a=x, b=y), next must be (a=coin, b=x): b' always equals a.
+	for i, tuple := range ch.States {
+		cols, vals := ch.P.Row(i)
+		for k, c := range cols {
+			if vals[k] == 0 {
+				continue
+			}
+			next := ch.States[c]
+			if next[1] != tuple[0] {
+				t.Fatalf("b' = %d, want a = %d", next[1], tuple[0])
+			}
+		}
+	}
+}
+
+func TestReachabilityPrunesStates(t *testing.T) {
+	// A machine with 10 states but dynamics confined to {0,1}.
+	m := &Machine{
+		Name:      "m",
+		NumStates: 10,
+		Inputs:    []Port{{Name: "in", Size: 2}},
+		Next:      func(s int, in []int) int { return in[0] },
+	}
+	n := NewNetwork()
+	if err := n.AddMachine(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("c", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("m", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.States) != 2 {
+		t.Fatalf("reachable = %d, want 2", len(ch.States))
+	}
+}
+
+func TestZeroProbabilitySymbolsSkipped(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(&Source{Name: "c", Prob: []float64{1, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("t", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symbol 1 never fires: only state 0 reachable.
+	if len(ch.States) != 1 {
+		t.Fatalf("reachable = %d, want 1", len(ch.States))
+	}
+}
+
+func TestBuildChainEmptyNetwork(t *testing.T) {
+	if _, err := NewNetwork().BuildChain(); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+func TestStateLabelAndDOT(t *testing.T) {
+	n := NewNetwork()
+	m := toggler("phase")
+	m.StateName = func(s int) string { return []string{"lo", "hi"}[s] }
+	if err := n.AddMachine(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("nr", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("phase", "in", SourceOut("nr")); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbl := n.StateLabel(ch, ch.StateIndex([]int{1}))
+	if lbl != "phase=hi" {
+		t.Errorf("label = %q", lbl)
+	}
+	dot := n.DOT()
+	for _, want := range []string{"digraph", "src_nr", "m_phase", "Moore", "->", "(2 symbols)"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestDOTSourceSymbolNames(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	src := coin("c", 0.5)
+	src.SymbolName = func(sym int) string { return []string{"hold", "flip"}[sym] }
+	if err := n.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("t", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.DOT(), "hold,flip") {
+		t.Errorf("DOT missing symbol names:\n%s", n.DOT())
+	}
+}
+
+func TestAddAfterFinalizeRejected(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("c", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("t", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddMachine(toggler("u")); err == nil {
+		t.Error("AddMachine after Finalize accepted")
+	}
+	if err := n.AddSource(coin("d", 0.5)); err == nil {
+		t.Error("AddSource after Finalize accepted")
+	}
+	if err := n.Connect("t", "in", SourceOut("c")); err == nil {
+		t.Error("Connect after Finalize accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("c", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumMachines() != 1 {
+		t.Error("NumMachines")
+	}
+	if n.Machine("t") == nil || n.Machine("x") != nil {
+		t.Error("Machine accessor")
+	}
+	if n.Source("c") == nil || n.Source("x") != nil {
+		t.Error("Source accessor")
+	}
+}

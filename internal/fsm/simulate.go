@@ -1,0 +1,107 @@
+package fsm
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// Trajectory simulation of a network: draws source symbols step by step
+// and advances the synchronous product. It provides an independent check
+// of the BuildChain construction (empirical state occupancies must match
+// the chain's stationary distribution) and a cheap way to exercise very
+// large networks whose product chain would not fit in memory.
+
+// Simulator holds the mutable state of one network trajectory.
+type Simulator struct {
+	net   *Network
+	state []int
+	next  []int
+	sym   []int
+	// cum[s] holds the cumulative distribution of source s for inverse-
+	// CDF sampling.
+	cum [][]float64
+	rng *rand.Rand
+}
+
+// NewSimulator prepares a trajectory simulator; the network is finalized
+// if it was not already.
+func (n *Network) NewSimulator(seed int64) (*Simulator, error) {
+	if err := n.Finalize(); err != nil {
+		return nil, err
+	}
+	if len(n.machines) == 0 {
+		return nil, errors.New("fsm: empty network")
+	}
+	s := &Simulator{
+		net:   n,
+		state: make([]int, len(n.machines)),
+		next:  make([]int, len(n.machines)),
+		sym:   make([]int, len(n.sources)),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for i, m := range n.machines {
+		s.state[i] = m.Initial
+	}
+	s.cum = make([][]float64, len(n.sources))
+	for i, src := range n.sources {
+		total := 0.0
+		for _, p := range src.Prob {
+			total += p
+		}
+		cum := make([]float64, len(src.Prob))
+		acc := 0.0
+		for j, p := range src.Prob {
+			acc += p / total
+			cum[j] = acc
+		}
+		s.cum[i] = cum
+	}
+	return s, nil
+}
+
+// State returns the current machine-state tuple (aliased; do not modify).
+func (s *Simulator) State() []int { return s.state }
+
+// Step draws one symbol per source and advances every machine one
+// synchronous step.
+func (s *Simulator) Step() {
+	for i, cum := range s.cum {
+		u := s.rng.Float64()
+		// Inverse CDF by linear scan: source alphabets are small.
+		k := 0
+		for k < len(cum)-1 && u > cum[k] {
+			k++
+		}
+		s.sym[i] = k
+	}
+	s.net.step(s.state, s.sym, s.next)
+	s.state, s.next = s.next, s.state
+}
+
+// Occupancy runs steps transitions after a warmup and returns the fraction
+// of time spent in each reachable state of the given chain (states not in
+// the chain's index are counted under index −1, which indicates a
+// construction bug and is returned as the second value).
+func (s *Simulator) Occupancy(ch *Chain, warmup, steps int) ([]float64, int, error) {
+	if steps <= 0 {
+		return nil, 0, errors.New("fsm: steps must be positive")
+	}
+	for k := 0; k < warmup; k++ {
+		s.Step()
+	}
+	counts := make([]float64, len(ch.States))
+	missing := 0
+	for k := 0; k < steps; k++ {
+		idx := ch.StateIndex(s.state)
+		if idx < 0 {
+			missing++
+		} else {
+			counts[idx]++
+		}
+		s.Step()
+	}
+	for i := range counts {
+		counts[i] /= float64(steps)
+	}
+	return counts, missing, nil
+}

@@ -1,0 +1,126 @@
+package fsm
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/spmat"
+)
+
+func TestSimulatorOccupancyMatchesStationary(t *testing.T) {
+	// A toggler driven by a biased coin: stationary occupancy = (1-p, p).
+	n := NewNetwork()
+	p := 0.3
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("c", p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("t", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	ch, err := n.BuildChain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := spmat.StationaryGTHCSR(ch.P)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := n.NewSimulator(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ, missing, err := sim.Occupancy(ch, 1000, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if missing != 0 {
+		t.Fatalf("%d steps landed outside the reachable chain", missing)
+	}
+	for i := range pi {
+		if math.Abs(occ[i]-pi[i]) > 0.01 {
+			t.Fatalf("state %d: occupancy %g vs stationary %g", i, occ[i], pi[i])
+		}
+	}
+}
+
+func TestSimulatorWiredNetwork(t *testing.T) {
+	// Delayed-copy network from the chain tests: simulate and verify the
+	// invariant b == previous a along the trajectory.
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("a")); err != nil {
+		t.Fatal(err)
+	}
+	b := &Machine{
+		Name:      "b",
+		NumStates: 2,
+		Inputs:    []Port{{Name: "in", Size: 2}},
+		Next:      func(s int, in []int) int { return in[0] },
+	}
+	if err := n.AddMachine(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddSource(coin("c", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("a", "in", SourceOut("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Connect("b", "in", MachineOut("a")); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := n.NewSimulator(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 1000; k++ {
+		prevA := sim.State()[0]
+		sim.Step()
+		if sim.State()[1] != prevA {
+			t.Fatalf("step %d: b=%d, want previous a=%d", k, sim.State()[1], prevA)
+		}
+	}
+}
+
+func TestSimulatorValidation(t *testing.T) {
+	if _, err := NewNetwork().NewSimulator(1); err == nil {
+		t.Error("empty network accepted")
+	}
+	n := NewNetwork()
+	if err := n.AddMachine(toggler("t")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.NewSimulator(1); err == nil {
+		t.Error("unwired network accepted")
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	mk := func() *Simulator {
+		n := NewNetwork()
+		if err := n.AddMachine(toggler("t")); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.AddSource(coin("c", 0.5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Connect("t", "in", SourceOut("c")); err != nil {
+			t.Fatal(err)
+		}
+		s, err := n.NewSimulator(99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	for k := 0; k < 500; k++ {
+		a.Step()
+		b.Step()
+		if a.State()[0] != b.State()[0] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package kron implements stochastic-automata-network (SAN) descriptors:
+// transition probability matrices represented as sums of Kronecker
+// products of small per-component matrices, in the spirit of Plateau's
+// stochastic automata networks and the "hierarchical Kronecker
+// algebra-like techniques" the paper identifies as the scaling path for
+// storing and manipulating very large structured TPMs.
+//
+// A descriptor never materializes the global matrix: the fundamental
+// operation y = x·P is evaluated term by term with the shuffle algorithm,
+// one tensor mode at a time, at a cost proportional to the component
+// matrices' nonzeros times the remaining dimensions.
+package kron
+
+import (
+	"errors"
+	"fmt"
+
+	"cdrstoch/internal/spmat"
+)
+
+// Term is one Kronecker-product summand c·(F₁ ⊗ F₂ ⊗ … ⊗ F_C).
+type Term struct {
+	// Coeff scales the product term (typically an event probability).
+	Coeff float64
+	// Factors holds one square matrix per component, outermost first.
+	Factors []*spmat.CSR
+}
+
+// Descriptor is a sum of Kronecker-product terms over a fixed component
+// structure. All terms must agree on the per-component dimensions.
+type Descriptor struct {
+	sizes []int
+	dim   int
+	terms []Term
+}
+
+// NewDescriptor validates the terms and returns a descriptor.
+func NewDescriptor(terms []Term) (*Descriptor, error) {
+	if len(terms) == 0 {
+		return nil, errors.New("kron: no terms")
+	}
+	var sizes []int
+	for ti, t := range terms {
+		if len(t.Factors) == 0 {
+			return nil, fmt.Errorf("kron: term %d has no factors", ti)
+		}
+		if sizes == nil {
+			sizes = make([]int, len(t.Factors))
+			for c, f := range t.Factors {
+				r, cl := f.Dims()
+				if r != cl {
+					return nil, fmt.Errorf("kron: term %d factor %d is %dx%d, want square", ti, c, r, cl)
+				}
+				sizes[c] = r
+			}
+		} else {
+			if len(t.Factors) != len(sizes) {
+				return nil, fmt.Errorf("kron: term %d has %d factors, want %d", ti, len(t.Factors), len(sizes))
+			}
+			for c, f := range t.Factors {
+				r, cl := f.Dims()
+				if r != sizes[c] || cl != sizes[c] {
+					return nil, fmt.Errorf("kron: term %d factor %d is %dx%d, want %dx%d",
+						ti, c, r, cl, sizes[c], sizes[c])
+				}
+			}
+		}
+	}
+	dim := 1
+	for _, s := range sizes {
+		if s <= 0 {
+			return nil, errors.New("kron: zero-dimensional factor")
+		}
+		next := dim * s
+		if next/s != dim {
+			return nil, errors.New("kron: global dimension overflows")
+		}
+		dim = next
+	}
+	return &Descriptor{sizes: sizes, dim: dim, terms: terms}, nil
+}
+
+// Dim returns the global state-space size (product of component sizes).
+func (d *Descriptor) Dim() int { return d.dim }
+
+// Sizes returns the per-component dimensions, outermost first.
+func (d *Descriptor) Sizes() []int {
+	out := make([]int, len(d.sizes))
+	copy(out, d.sizes)
+	return out
+}
+
+// NumTerms returns the number of Kronecker terms.
+func (d *Descriptor) NumTerms() int { return len(d.terms) }
+
+// modeVecMul computes the mode-k vector–matrix product of the tensorized
+// vector x with factor a: out[l, j, r] = Σ_i x[l, i, r]·a[i, j], where l
+// ranges over the product of dimensions before mode k and r after it.
+// out must be zeroed by the caller.
+func modeVecMul(out, x []float64, a *spmat.CSR, left, n, right int) {
+	for l := 0; l < left; l++ {
+		base := l * n * right
+		for i := 0; i < n; i++ {
+			cols, vals := a.Row(i)
+			if len(cols) == 0 {
+				continue
+			}
+			xi := base + i*right
+			for kk, j := range cols {
+				v := vals[kk]
+				if v == 0 {
+					continue
+				}
+				yj := base + j*right
+				xr := x[xi : xi+right]
+				yr := out[yj : yj+right]
+				for r := range xr {
+					yr[r] += v * xr[r]
+				}
+			}
+		}
+	}
+}
+
+// VecMul computes y = x·P where P is the descriptor's implicit matrix.
+// y must have length Dim and may not alias x.
+func (d *Descriptor) VecMul(y, x []float64) {
+	if len(x) != d.dim || len(y) != d.dim {
+		panic("kron: VecMul dimension mismatch")
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	cur := make([]float64, d.dim)
+	next := make([]float64, d.dim)
+	for _, t := range d.terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		copy(cur, x)
+		left := 1
+		right := d.dim
+		for c, f := range t.Factors {
+			n := d.sizes[c]
+			right /= n
+			for i := range next {
+				next[i] = 0
+			}
+			modeVecMul(next, cur, f, left, n, right)
+			cur, next = next, cur
+			left *= n
+		}
+		for i := range y {
+			y[i] += t.Coeff * cur[i]
+		}
+	}
+}
+
+// ToCSR materializes the descriptor as an explicit sparse matrix. Intended
+// for tests and small models; the memory cost is the full global nnz.
+func (d *Descriptor) ToCSR() *spmat.CSR {
+	tr := spmat.NewTriplet(d.dim, d.dim)
+	// Expand each term by depth-first enumeration of factor entries.
+	var expand func(t Term, c, row, col int, prod float64)
+	expand = func(t Term, c, row, col int, prod float64) {
+		if c == len(t.Factors) {
+			tr.Add(row, col, prod)
+			return
+		}
+		n := d.sizes[c]
+		for i := 0; i < n; i++ {
+			cols, vals := t.Factors[c].Row(i)
+			for k, j := range cols {
+				if vals[k] == 0 {
+					continue
+				}
+				expand(t, c+1, row*n+i, col*n+j, prod*vals[k])
+			}
+		}
+	}
+	for _, t := range d.terms {
+		if t.Coeff != 0 {
+			expand(t, 0, 0, 0, t.Coeff)
+		}
+	}
+	return tr.ToCSR()
+}
+
+// Kron returns the explicit Kronecker product A ⊗ B.
+func Kron(a, b *spmat.CSR) *spmat.CSR {
+	ar, ac := a.Dims()
+	br, bc := b.Dims()
+	tr := spmat.NewTriplet(ar*br, ac*bc)
+	tr.Reserve(a.NNZ() * b.NNZ())
+	for i := 0; i < ar; i++ {
+		acols, avals := a.Row(i)
+		for k, aj := range acols {
+			av := avals[k]
+			if av == 0 {
+				continue
+			}
+			for p := 0; p < br; p++ {
+				bcols, bvals := b.Row(p)
+				for q, bj := range bcols {
+					if bvals[q] == 0 {
+						continue
+					}
+					tr.Add(i*br+p, aj*bc+bj, av*bvals[q])
+				}
+			}
+		}
+	}
+	return tr.ToCSR()
+}
+
+// StationaryPower computes the stationary distribution of a stochastic
+// descriptor by damped power iteration without materializing the matrix.
+// It returns the iterate, the iteration count and the final ‖xP − x‖₁.
+func (d *Descriptor) StationaryPower(tol float64, maxIter int, damping float64) ([]float64, int, float64) {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	if damping <= 0 || damping > 1 {
+		damping = 1
+	}
+	n := d.dim
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	y := make([]float64, n)
+	var it int
+	var resid float64
+	for it = 1; it <= maxIter; it++ {
+		d.VecMul(y, x)
+		resid = 0
+		sum := 0.0
+		for i := range x {
+			r := y[i] - x[i]
+			if r < 0 {
+				r = -r
+			}
+			resid += r
+			x[i] = damping*y[i] + (1-damping)*x[i]
+			sum += x[i]
+		}
+		if sum > 0 {
+			inv := 1 / sum
+			for i := range x {
+				x[i] *= inv
+			}
+		}
+		if resid <= tol {
+			break
+		}
+	}
+	if it > maxIter {
+		it = maxIter
+	}
+	return x, it, resid
+}

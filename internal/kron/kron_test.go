@@ -1,0 +1,245 @@
+package kron
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdrstoch/internal/spmat"
+)
+
+func randomCSR(r, c int, density float64, rng *rand.Rand) *spmat.CSR {
+	tr := spmat.NewTriplet(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				tr.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return tr.ToCSR()
+}
+
+func randomStochasticCSR(n int, rng *rand.Rand) *spmat.CSR {
+	tr := spmat.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, n)
+		s := 0.0
+		for j := range row {
+			row[j] = rng.Float64() + 1e-3
+			s += row[j]
+		}
+		for j := range row {
+			tr.Add(i, j, row[j]/s)
+		}
+	}
+	return tr.ToCSR()
+}
+
+func TestKronSmallKnown(t *testing.T) {
+	// A = [[1,2],[3,4]], B = [[0,1],[1,0]].
+	ta := spmat.NewTriplet(2, 2)
+	ta.Add(0, 0, 1)
+	ta.Add(0, 1, 2)
+	ta.Add(1, 0, 3)
+	ta.Add(1, 1, 4)
+	tb := spmat.NewTriplet(2, 2)
+	tb.Add(0, 1, 1)
+	tb.Add(1, 0, 1)
+	k := Kron(ta.ToCSR(), tb.ToCSR())
+	want := [][]float64{
+		{0, 1, 0, 2},
+		{1, 0, 2, 0},
+		{0, 3, 0, 4},
+		{3, 0, 4, 0},
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got := k.At(i, j); got != want[i][j] {
+				t.Fatalf("K(%d,%d) = %g, want %g", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestKronOfStochasticIsStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomStochasticCSR(3, rng)
+	b := randomStochasticCSR(4, rng)
+	if err := Kron(a, b).CheckStochastic(1e-12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewDescriptorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomStochasticCSR(2, rng)
+	b := randomStochasticCSR(3, rng)
+	if _, err := NewDescriptor(nil); err == nil {
+		t.Error("empty descriptor accepted")
+	}
+	if _, err := NewDescriptor([]Term{{Coeff: 1}}); err == nil {
+		t.Error("factorless term accepted")
+	}
+	if _, err := NewDescriptor([]Term{
+		{Coeff: 1, Factors: []*spmat.CSR{a, b}},
+		{Coeff: 1, Factors: []*spmat.CSR{b, a}},
+	}); err == nil {
+		t.Error("size-mismatched terms accepted")
+	}
+	if _, err := NewDescriptor([]Term{
+		{Coeff: 1, Factors: []*spmat.CSR{a, b}},
+		{Coeff: 1, Factors: []*spmat.CSR{a}},
+	}); err == nil {
+		t.Error("arity-mismatched terms accepted")
+	}
+	nonSquare := randomCSR(2, 3, 1, rng)
+	if _, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{nonSquare}}}); err == nil {
+		t.Error("non-square factor accepted")
+	}
+	d, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{a, b}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Dim() != 6 || d.NumTerms() != 1 {
+		t.Error("descriptor shape")
+	}
+	s := d.Sizes()
+	if len(s) != 2 || s[0] != 2 || s[1] != 3 {
+		t.Errorf("sizes = %v", s)
+	}
+}
+
+func TestDescriptorVecMulMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		nc := 1 + rng.Intn(3)
+		sizes := make([]int, nc)
+		dim := 1
+		for c := range sizes {
+			sizes[c] = 2 + rng.Intn(3)
+			dim *= sizes[c]
+		}
+		nt := 1 + rng.Intn(3)
+		terms := make([]Term, nt)
+		for ti := range terms {
+			fs := make([]*spmat.CSR, nc)
+			for c := range fs {
+				fs[c] = randomCSR(sizes[c], sizes[c], 0.6, rng)
+			}
+			terms[ti] = Term{Coeff: rng.NormFloat64(), Factors: fs}
+		}
+		d, err := NewDescriptor(terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := d.ToCSR()
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, dim)
+		d.VecMul(y1, x)
+		ref := make([]float64, dim)
+		m.VecMul(ref, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-ref[i]) > 1e-10 {
+				t.Fatalf("trial %d: VecMul[%d] = %g, want %g", trial, i, y1[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestDescriptorOfProductChain(t *testing.T) {
+	// Two independent chains: P = A ⊗ B; the stationary distribution is
+	// the product of component stationaries.
+	rng := rand.New(rand.NewSource(4))
+	a := randomStochasticCSR(3, rng)
+	b := randomStochasticCSR(4, rng)
+	d, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{a, b}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piA, err := spmat.StationaryGTHCSR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piB, err := spmat.StationaryGTHCSR(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, _, resid := d.StationaryPower(1e-13, 100000, 1)
+	if resid > 1e-12 {
+		t.Fatalf("power residual %g", resid)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			want := piA[i] * piB[j]
+			if got := pi[i*4+j]; math.Abs(got-want) > 1e-9 {
+				t.Fatalf("pi[%d,%d] = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestDescriptorMixtureOfStochasticTermsIsStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a1 := randomStochasticCSR(2, rng)
+	a2 := randomStochasticCSR(2, rng)
+	b1 := randomStochasticCSR(3, rng)
+	b2 := randomStochasticCSR(3, rng)
+	d, err := NewDescriptor([]Term{
+		{Coeff: 0.3, Factors: []*spmat.CSR{a1, b1}},
+		{Coeff: 0.7, Factors: []*spmat.CSR{a2, b2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ToCSR().CheckStochastic(1e-12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecMulPanicsOnBadDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomStochasticCSR(2, rng)
+	d, _ := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{a}}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.VecMul(make([]float64, 3), make([]float64, 2))
+}
+
+func TestQuickDescriptorMatchesExplicit(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s1, s2 := 2+rng.Intn(3), 2+rng.Intn(3)
+		a := randomStochasticCSR(s1, rng)
+		b := randomStochasticCSR(s2, rng)
+		d, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{a, b}}})
+		if err != nil {
+			return false
+		}
+		explicit := Kron(a, b)
+		x := make([]float64, s1*s2)
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		y1 := make([]float64, len(x))
+		ref := make([]float64, len(x))
+		d.VecMul(y1, x)
+		explicit.VecMul(ref, x)
+		for i := range y1 {
+			if math.Abs(y1[i]-ref[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+package markov
+
+import (
+	"errors"
+
+	"cdrstoch/internal/spmat"
+)
+
+// Censored (watched) chains via stochastic complementation. Watching a
+// subset A of states — recording the chain only when it visits A — yields
+// a new Markov chain on A whose TPM is the stochastic complement
+//
+//	S = P_AA + P_AB · (I − P_BB)⁻¹ · P_BA,
+//
+// the exact counterpart of the *approximate* iterate-weighted lumping used
+// inside the multigrid cycle (Meyer's theory of nearly uncoupled chains
+// connects the two). Its stationary vector is the conditional stationary
+// distribution π(·|A) — a property the tests exploit, and a useful exact
+// reduction when only a component of the CDR state (e.g. the phase error
+// at counter-reset instants) is of interest.
+
+// Censor returns the stochastic complement of the chain on the watched
+// states (given as a boolean mask) along with the watched state indices in
+// increasing order. The unwatched block must be transient relative to the
+// watched set (i.e. (I − P_BB) nonsingular), which holds for any
+// irreducible chain and proper subset.
+func (c *Chain) Censor(watched []bool) (*Chain, []int, error) {
+	n := c.N()
+	if len(watched) != n {
+		return nil, nil, errors.New("markov: watched mask length mismatch")
+	}
+	var aIdx, bIdx []int
+	for i, w := range watched {
+		if w {
+			aIdx = append(aIdx, i)
+		} else {
+			bIdx = append(bIdx, i)
+		}
+	}
+	if len(aIdx) == 0 {
+		return nil, nil, errors.New("markov: empty watched set")
+	}
+	if len(bIdx) == 0 {
+		// Watching everything: the complement is the chain itself.
+		return c, aIdx, nil
+	}
+	na, nb := len(aIdx), len(bIdx)
+	posA := make([]int, n)
+	posB := make([]int, n)
+	for i := range posA {
+		posA[i], posB[i] = -1, -1
+	}
+	for k, i := range aIdx {
+		posA[i] = k
+	}
+	for k, i := range bIdx {
+		posB[i] = k
+	}
+
+	// Dense blocks: censoring is used for modest watched complements; the
+	// (I − P_BB) solve is the dominant cost.
+	iMinusBB := spmat.NewDense(nb, nb)
+	pBA := spmat.NewDense(nb, na)
+	for k, i := range bIdx {
+		iMinusBB.Set(k, k, 1)
+		cols, vals := c.p.Row(i)
+		for kk, j := range cols {
+			if pb := posB[j]; pb >= 0 {
+				iMinusBB.Add(k, pb, -vals[kk])
+			} else {
+				pBA.Add(k, posA[j], vals[kk])
+			}
+		}
+	}
+	lu, err := spmat.Factorize(iMinusBB)
+	if err != nil {
+		return nil, nil, errors.New("markov: unwatched block not transient (reducible chain?)")
+	}
+	// X = (I − P_BB)⁻¹ P_BA, solved column by column.
+	x := spmat.NewDense(nb, na)
+	col := make([]float64, nb)
+	for j := 0; j < na; j++ {
+		for i := 0; i < nb; i++ {
+			col[i] = pBA.At(i, j)
+		}
+		sol := lu.Solve(col)
+		for i := 0; i < nb; i++ {
+			x.Set(i, j, sol[i])
+		}
+	}
+
+	tr := spmat.NewTriplet(na, na)
+	for k, i := range aIdx {
+		cols, vals := c.p.Row(i)
+		for kk, j := range cols {
+			if pa := posA[j]; pa >= 0 {
+				tr.Add(k, pa, vals[kk])
+			} else {
+				pb := posB[j]
+				v := vals[kk]
+				for jj := 0; jj < na; jj++ {
+					if xv := x.At(pb, jj); xv != 0 {
+						tr.Add(k, jj, v*xv)
+					}
+				}
+			}
+		}
+	}
+	s := tr.ToCSR()
+	censored, err := New(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return censored, aIdx, nil
+}

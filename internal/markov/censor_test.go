@@ -1,0 +1,151 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCensorStationaryIsConditional(t *testing.T) {
+	// The stationary vector of the censored chain equals the original
+	// stationary restricted to the watched set and renormalized.
+	rng := rand.New(rand.NewSource(31))
+	c := randomChain(t, 9, rng)
+	pi, err := c.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	watched := make([]bool, 9)
+	watched[1], watched[4], watched[7] = true, true, true
+	cc, idx, err := c.Censor(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piC, err := cc.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := pi[1] + pi[4] + pi[7]
+	for k, i := range idx {
+		want := pi[i] / mass
+		if math.Abs(piC[k]-want) > 1e-11 {
+			t.Fatalf("state %d: censored pi %g vs conditional %g", i, piC[k], want)
+		}
+	}
+}
+
+func TestCensorIsStochastic(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	c := randomChain(t, 12, rng)
+	watched := make([]bool, 12)
+	for i := 0; i < 5; i++ {
+		watched[i] = true
+	}
+	cc, _, err := c.Censor(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.P().CheckStochastic(1e-10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCensorWholeChain(t *testing.T) {
+	c := twoState(t, 0.3, 0.2)
+	watched := []bool{true, true}
+	cc, idx, err := c.Censor(watched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc != c || len(idx) != 2 {
+		t.Fatal("watching everything should return the chain itself")
+	}
+}
+
+func TestCensorErrors(t *testing.T) {
+	c := twoState(t, 0.3, 0.2)
+	if _, _, err := c.Censor([]bool{true}); err == nil {
+		t.Error("mask length mismatch accepted")
+	}
+	if _, _, err := c.Censor([]bool{false, false}); err == nil {
+		t.Error("empty watched set accepted")
+	}
+	// Reducible chain whose unwatched block is closed: censoring must fail.
+	red := chainFromRows(t, [][]float64{
+		{0.5, 0.5, 0},
+		{0, 1, 0},
+		{0, 0, 1},
+	})
+	if _, _, err := red.Censor([]bool{true, false, false}); err == nil {
+		t.Error("closed unwatched block accepted")
+	}
+}
+
+func TestCensorTwoStateExplicit(t *testing.T) {
+	// Watching only state 0 of the two-state chain gives the trivial
+	// one-state chain.
+	c := twoState(t, 0.3, 0.2)
+	cc, idx, err := c.Censor([]bool{true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 1 || idx[0] != 0 {
+		t.Fatalf("idx = %v", idx)
+	}
+	if got := cc.P().At(0, 0); math.Abs(got-1) > 1e-14 {
+		t.Fatalf("P_censored(0,0) = %g", got)
+	}
+}
+
+// Property: censoring a random chain on a random nonempty proper subset
+// yields a stochastic chain whose stationary vector is the conditional
+// one.
+func TestQuickCensorConditional(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		c := randomChain(t, n, rng)
+		watched := make([]bool, n)
+		count := 0
+		for i := range watched {
+			if rng.Float64() < 0.5 {
+				watched[i] = true
+				count++
+			}
+		}
+		if count == 0 {
+			watched[0] = true
+			count = 1
+		}
+		if count == n {
+			watched[n-1] = false
+			count--
+		}
+		cc, idx, err := c.Censor(watched)
+		if err != nil {
+			return false
+		}
+		pi, err := c.StationaryDirect()
+		if err != nil {
+			return false
+		}
+		piC, err := cc.StationaryDirect()
+		if err != nil {
+			return false
+		}
+		mass := 0.0
+		for _, i := range idx {
+			mass += pi[i]
+		}
+		for k, i := range idx {
+			if math.Abs(piC[k]-pi[i]/mass) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

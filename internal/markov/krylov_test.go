@@ -1,0 +1,144 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGMRESMatchesGTHOnTwoState(t *testing.T) {
+	a, b := 0.3, 0.1
+	c := twoState(t, a, b)
+	res, err := c.StationaryGMRES(GMRESOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	want := wantTwoState(a, b)
+	if d := maxAbsDiff(res.Pi, want); d > 1e-10 {
+		t.Fatalf("GMRES off by %g: %v", d, res.Pi)
+	}
+}
+
+func TestGMRESRandomChains(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(40)
+		c := randomChain(t, n, rng)
+		ref, err := c.StationaryDirect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := c.StationaryGMRES(GMRESOptions{Tol: 1e-12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d: not converged: %+v", trial, res)
+		}
+		if d := maxAbsDiff(res.Pi, ref); d > 1e-9 {
+			t.Fatalf("trial %d: off by %g", trial, d)
+		}
+	}
+}
+
+func TestGMRESHandlesPeriodicChain(t *testing.T) {
+	// Period-2 chain: power iteration oscillates, GMRES solves the linear
+	// system directly.
+	c := chainFromRows(t, [][]float64{{0, 1}, {1, 0}})
+	res, err := c.StationaryGMRES(GMRESOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if d := maxAbsDiff(res.Pi, []float64{0.5, 0.5}); d > 1e-10 {
+		t.Fatalf("off by %g", d)
+	}
+}
+
+func TestGMRESSlowMixingBeatsPower(t *testing.T) {
+	// Weak-drift random walk: power iteration needs thousands of products,
+	// GMRES far fewer.
+	n := 128
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		up, down := 0.26, 0.25
+		stay := 1 - up - down
+		switch i {
+		case 0:
+			rows[i][0] = stay + down
+			rows[i][1] = up
+		case n - 1:
+			rows[i][n-1] = stay + up
+			rows[i][n-2] = down
+		default:
+			rows[i][i-1] = down
+			rows[i][i] = stay
+			rows[i][i+1] = up
+		}
+	}
+	c := chainFromRows(t, rows)
+	gm, err := c.StationaryGMRES(GMRESOptions{Tol: 1e-10, Restart: 40})
+	if err != nil || !gm.Converged {
+		t.Fatalf("gmres: %v %+v", err, gm)
+	}
+	pw, err := c.StationaryPower(Options{Tol: 1e-10, MaxIter: 1000000, Damping: 0.95})
+	if err != nil || !pw.Converged {
+		t.Fatalf("power: %v %+v", err, pw)
+	}
+	if pw.Iterations < 5*gm.Iterations {
+		t.Fatalf("expected GMRES win: gmres %d matvecs vs power %d sweeps",
+			gm.Iterations, pw.Iterations)
+	}
+	if d := maxAbsDiff(gm.Pi, pw.Pi); d > 1e-7 {
+		t.Fatalf("solutions differ by %g", d)
+	}
+}
+
+func TestGMRESX0Validation(t *testing.T) {
+	c := twoState(t, 0.3, 0.2)
+	if _, err := c.StationaryGMRES(GMRESOptions{X0: []float64{1}}); err == nil {
+		t.Error("bad X0 length accepted")
+	}
+}
+
+func TestGMRESNonNegativeOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := randomChain(t, 25, rng)
+	res, err := c.StationaryGMRES(GMRESOptions{Tol: 1e-12})
+	if err != nil || !res.Converged {
+		t.Fatalf("%v %+v", err, res)
+	}
+	sum := 0.0
+	for _, v := range res.Pi {
+		if v < 0 {
+			t.Fatalf("negative entry %g", v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("mass %g", sum)
+	}
+}
+
+func TestQuickGMRESFixedPoint(t *testing.T) {
+	f := func(seed int64, sz uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(sz%20)
+		c := randomChain(t, n, rng)
+		res, err := c.StationaryGMRES(GMRESOptions{Tol: 1e-11})
+		if err != nil || !res.Converged {
+			return false
+		}
+		return c.Residual(res.Pi) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

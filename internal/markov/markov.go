@@ -1,0 +1,294 @@
+// Package markov provides discrete-time Markov chain analysis over sparse
+// transition probability matrices: structural classification (reachability,
+// irreducibility, period), classical stationary-distribution solvers
+// (power, Jacobi, Gauss–Seidel, SOR), and the state-function statistics the
+// paper derives from the stationary vector (expectations, tail masses and
+// autocorrelations).
+//
+// The multilevel aggregation solver that accelerates these classical
+// iterations lives in internal/multigrid; the subtraction-free direct GTH
+// solve lives in internal/spmat.
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cdrstoch/internal/spmat"
+)
+
+// Chain is a finite discrete-time Markov chain.
+type Chain struct {
+	p  *spmat.CSR
+	pt *spmat.CSR // lazily computed transpose for column-sweep solvers
+}
+
+// New validates P as a row-stochastic matrix and wraps it in a Chain.
+func New(p *spmat.CSR) (*Chain, error) {
+	if err := p.CheckStochastic(1e-9); err != nil {
+		return nil, err
+	}
+	return &Chain{p: p}, nil
+}
+
+// P returns the transition probability matrix.
+func (c *Chain) P() *spmat.CSR { return c.p }
+
+// N returns the number of states.
+func (c *Chain) N() int {
+	n, _ := c.p.Dims()
+	return n
+}
+
+// transpose returns Pᵀ, computing and caching it on first use.
+func (c *Chain) transpose() *spmat.CSR {
+	if c.pt == nil {
+		c.pt = c.p.Transpose()
+	}
+	return c.pt
+}
+
+// Uniform returns the uniform distribution over the chain's states.
+func (c *Chain) Uniform() []float64 {
+	n := c.N()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	return x
+}
+
+// Step advances a distribution one step: returns x·P in dst (allocated when
+// nil) and the destination slice.
+func (c *Chain) Step(dst, x []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, c.N())
+	}
+	c.p.VecMul(dst, x)
+	return dst
+}
+
+// Residual returns ‖x·P − x‖₁, the stationarity defect of x.
+func (c *Chain) Residual(x []float64) float64 {
+	y := make([]float64, len(x))
+	c.p.VecMul(y, x)
+	r := 0.0
+	for i := range x {
+		r += math.Abs(y[i] - x[i])
+	}
+	return r
+}
+
+// normalize rescales x to unit 1-norm in place; returns an error when the
+// mass vanished (a symptom of a defective iteration).
+func normalize(x []float64) error {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+		return errors.New("markov: iterate lost probability mass")
+	}
+	inv := 1 / s
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+// Options configures an iterative stationary solve.
+type Options struct {
+	// Tol is the convergence threshold on ‖xP − x‖₁. Default 1e-12.
+	Tol float64
+	// MaxIter bounds the iteration count. Default 100000.
+	MaxIter int
+	// X0 is the initial distribution; uniform when nil.
+	X0 []float64
+	// Damping is the power-iteration damping factor α in
+	// x ← α·xP + (1−α)·x; 1 (undamped) by default. Damping below 1 makes
+	// the iteration converge on periodic chains.
+	Damping float64
+	// Omega is the SOR relaxation factor; 1 (Gauss–Seidel) by default.
+	Omega float64
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100000
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 1
+	}
+	if o.Omega <= 0 {
+		o.Omega = 1
+	}
+	return o
+}
+
+// Result reports the outcome of an iterative stationary solve.
+type Result struct {
+	// Pi is the computed stationary distribution.
+	Pi []float64
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the final ‖πP − π‖₁.
+	Residual float64
+	// Converged reports whether Residual ≤ Tol was reached.
+	Converged bool
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("iter=%d residual=%.3e converged=%v", r.Iterations, r.Residual, r.Converged)
+}
+
+func (c *Chain) initial(opt Options) ([]float64, error) {
+	if opt.X0 == nil {
+		return c.Uniform(), nil
+	}
+	if len(opt.X0) != c.N() {
+		return nil, fmt.Errorf("markov: X0 length %d, want %d", len(opt.X0), c.N())
+	}
+	x := make([]float64, len(opt.X0))
+	copy(x, opt.X0)
+	if err := normalize(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// StationaryPower computes the stationary distribution by (optionally
+// damped) power iteration x ← α·xP + (1−α)·x. This is the paper's baseline
+// "Gauss–Jacobi" smoother, and the smoother used between multigrid levels.
+func (c *Chain) StationaryPower(opt Options) (Result, error) {
+	opt = opt.withDefaults(c.N())
+	x, err := c.initial(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	y := make([]float64, len(x))
+	res := Result{}
+	for it := 1; it <= opt.MaxIter; it++ {
+		c.p.VecMul(y, x)
+		r := 0.0
+		a := opt.Damping
+		for i := range x {
+			r += math.Abs(y[i] - x[i])
+			x[i] = a*y[i] + (1-a)*x[i]
+		}
+		if err := normalize(x); err != nil {
+			return Result{}, err
+		}
+		res.Iterations = it
+		res.Residual = r
+		if r <= opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Pi = x
+	return res, nil
+}
+
+// StationaryJacobi computes the stationary distribution with the Jacobi
+// splitting of (I − Pᵀ)x = 0: x_i ← Σ_{j≠i} P_ji x_j / (1 − P_ii).
+// Because the system is singular, the plain Jacobi iteration matrix can
+// carry an eigenvalue at −1 and oscillate; Options.Damping < 1 (weighted
+// Jacobi / JOR) restores convergence and is recommended.
+func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
+	opt = opt.withDefaults(c.N())
+	pt := c.transpose()
+	diag := c.p.Diag()
+	for i, d := range diag {
+		if d >= 1 {
+			return Result{}, fmt.Errorf("markov: absorbing state %d, Jacobi splitting undefined", i)
+		}
+	}
+	x, err := c.initial(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	y := make([]float64, len(x))
+	res := Result{}
+	a := opt.Damping
+	for it := 1; it <= opt.MaxIter; it++ {
+		n := c.N()
+		for i := 0; i < n; i++ {
+			cols, vals := pt.Row(i) // row i of Pᵀ = column i of P
+			s := 0.0
+			for k, j := range cols {
+				if j != i {
+					s += vals[k] * x[j]
+				}
+			}
+			y[i] = a*s/(1-diag[i]) + (1-a)*x[i]
+		}
+		x, y = y, x
+		if err := normalize(x); err != nil {
+			return Result{}, err
+		}
+		res.Iterations = it
+		res.Residual = c.Residual(x)
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Pi = x
+	return res, nil
+}
+
+// StationaryGaussSeidel computes the stationary distribution with forward
+// Gauss–Seidel sweeps on (I − Pᵀ)x = 0, optionally over-relaxed (SOR) via
+// Options.Omega.
+func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
+	opt = opt.withDefaults(c.N())
+	pt := c.transpose()
+	diag := c.p.Diag()
+	for i, d := range diag {
+		if d >= 1 {
+			return Result{}, fmt.Errorf("markov: absorbing state %d, Gauss-Seidel splitting undefined", i)
+		}
+	}
+	x, err := c.initial(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{}
+	omega := opt.Omega
+	n := c.N()
+	for it := 1; it <= opt.MaxIter; it++ {
+		for i := 0; i < n; i++ {
+			cols, vals := pt.Row(i)
+			s := 0.0
+			for k, j := range cols {
+				if j != i {
+					s += vals[k] * x[j]
+				}
+			}
+			gs := s / (1 - diag[i])
+			x[i] = (1-omega)*x[i] + omega*gs
+		}
+		if err := normalize(x); err != nil {
+			return Result{}, err
+		}
+		res.Iterations = it
+		res.Residual = c.Residual(x)
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Pi = x
+	return res, nil
+}
+
+// StationaryDirect computes the stationary distribution with the dense
+// subtraction-free GTH algorithm. Intended for small chains (it densifies
+// the TPM); it is exact to rounding and preserves tiny tail masses.
+func (c *Chain) StationaryDirect() ([]float64, error) {
+	return spmat.StationaryGTHCSR(c.p)
+}

@@ -1,0 +1,269 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cdrstoch/internal/spmat"
+)
+
+// perturbTwoState builds E = d/dε of the two-state TPM family
+// [[1−(a+ε), a+ε], [b, 1−b]]: rows sum to zero.
+func perturbTwoState(t testing.TB) *spmat.CSR {
+	t.Helper()
+	tr := spmat.NewTriplet(2, 2)
+	tr.Add(0, 0, -1)
+	tr.Add(0, 1, 1)
+	return tr.ToCSR()
+}
+
+func TestStationaryDerivativeTwoStateAnalytic(t *testing.T) {
+	// π(a) = (b, a)/(a+b): dπ/da = (−b, b)/(a+b)².
+	a, b := 0.3, 0.2
+	c := twoState(t, a, b)
+	pi := wantTwoState(a, b)
+	aSharp, err := c.GroupInverse(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := c.StationaryDerivative(pi, perturbTwoState(t), aSharp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	den := (a + b) * (a + b)
+	want := []float64{-b / den, b / den}
+	for i := range want {
+		if math.Abs(d[i]-want[i]) > 1e-10 {
+			t.Fatalf("dpi[%d] = %g, want %g", i, d[i], want[i])
+		}
+	}
+}
+
+func TestStationaryDerivativeMatchesFiniteDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 8
+	c := randomChain(t, n, rng)
+	pi, err := c.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aSharp, err := c.GroupInverse(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturbation: shift mass from each state's first listed target to
+	// its second (rows sum to zero by construction).
+	tr := spmat.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		cols, _ := c.P().Row(i)
+		if len(cols) >= 2 {
+			tr.Add(i, cols[0], -1)
+			tr.Add(i, cols[1], 1)
+		}
+	}
+	e := tr.ToCSR()
+	d, err := c.StationaryDerivative(pi, e, aSharp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Finite differences on the perturbed family.
+	eps := 1e-7
+	perturbed := func(sign float64) []float64 {
+		tr := spmat.NewTriplet(n, n)
+		for i := 0; i < n; i++ {
+			cols, vals := c.P().Row(i)
+			for k, j := range cols {
+				tr.Add(i, j, vals[k]+sign*eps*e.At(i, j))
+			}
+		}
+		pp, err := spmat.StationaryGTHCSR(tr.ToCSR())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pp
+	}
+	plus := perturbed(+1)
+	minus := perturbed(-1)
+	for i := 0; i < n; i++ {
+		fd := (plus[i] - minus[i]) / (2 * eps)
+		if math.Abs(d[i]-fd) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("dpi[%d]: analytic %g vs FD %g", i, d[i], fd)
+		}
+	}
+}
+
+func TestMeasureSensitivity(t *testing.T) {
+	a, b := 0.3, 0.2
+	c := twoState(t, a, b)
+	pi := wantTwoState(a, b)
+	aSharp, err := c.GroupInverse(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := []float64{0, 1} // E[f] = π₁ = a/(a+b); d/da = b/(a+b)².
+	s, err := c.MeasureSensitivity(pi, f, perturbTwoState(t), aSharp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b / ((a + b) * (a + b))
+	if math.Abs(s-want) > 1e-10 {
+		t.Fatalf("sensitivity %g, want %g", s, want)
+	}
+}
+
+func TestSensitivityValidation(t *testing.T) {
+	c := twoState(t, 0.3, 0.2)
+	pi := wantTwoState(0.3, 0.2)
+	aSharp, err := c.GroupInverse(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GroupInverse([]float64{1}); err == nil {
+		t.Error("bad pi length accepted")
+	}
+	// Perturbation with nonzero row sums.
+	tr := spmat.NewTriplet(2, 2)
+	tr.Add(0, 0, 1)
+	if _, err := c.StationaryDerivative(pi, tr.ToCSR(), aSharp); err == nil {
+		t.Error("non-conservative perturbation accepted")
+	}
+	if _, err := c.MeasureSensitivity(pi, []float64{1}, perturbTwoState(t), aSharp); err == nil {
+		t.Error("bad f length accepted")
+	}
+}
+
+func TestKemenyConstantTwoState(t *testing.T) {
+	// For the two-state chain, K = 1 + 1/(a+b).
+	a, b := 0.3, 0.2
+	c := twoState(t, a, b)
+	pi := wantTwoState(a, b)
+	k, err := c.KemenyConstant(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + 1/(a+b)
+	if math.Abs(k-want) > 1e-10 {
+		t.Fatalf("Kemeny constant %g, want %g", k, want)
+	}
+}
+
+func TestKemenyConstantStartIndependence(t *testing.T) {
+	// Cross-check against the defining sum Σ_j π_j·m_ij computed from
+	// hitting times, for two different start states.
+	rng := rand.New(rand.NewSource(51))
+	c := randomChain(t, 7, rng)
+	pi, err := c.StationaryDirect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := c.KemenyConstant(pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m_ij from single-target hitting times (m_jj = 0 by convention, so
+	// the sum picks up π_j·0 there; Kemeny's form uses m_jj = 0 plus the
+	// +1 lands naturally when counting the step into the target — our
+	// group-inverse form matches Σ_j π_j·m_ij + 1).
+	for _, start := range []int{0, 3} {
+		sum := 1.0
+		for j := 0; j < 7; j++ {
+			target := make([]bool, 7)
+			target[j] = true
+			times, err := hittingTimesRef(c, target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += pi[j] * times[start]
+		}
+		if math.Abs(sum-k) > 1e-8 {
+			t.Fatalf("start %d: Σπm+1 = %g vs Kemeny %g", start, sum, k)
+		}
+	}
+}
+
+// hittingTimesRef solves (I−Q)t = 1 densely without importing passage
+// (avoids a test-only dependency cycle risk).
+func hittingTimesRef(c *Chain, target []bool) ([]float64, error) {
+	n := c.N()
+	idx := make([]int, n)
+	nt := 0
+	for i := range target {
+		if target[i] {
+			idx[i] = -1
+		} else {
+			idx[i] = nt
+			nt++
+		}
+	}
+	a := spmat.NewDense(nt, nt)
+	for i := 0; i < n; i++ {
+		ri := idx[i]
+		if ri < 0 {
+			continue
+		}
+		a.Set(ri, ri, 1)
+		cols, vals := c.P().Row(i)
+		for k, j := range cols {
+			if rj := idx[j]; rj >= 0 {
+				a.Add(ri, rj, -vals[k])
+			}
+		}
+	}
+	lu, err := spmat.Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	ones := make([]float64, nt)
+	for i := range ones {
+		ones[i] = 1
+	}
+	tc := lu.Solve(ones)
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if ri := idx[i]; ri >= 0 {
+			out[i] = tc[ri]
+		}
+	}
+	return out, nil
+}
+
+// Property: the derivative components sum to zero (total mass is
+// conserved along any stochastic perturbation).
+func TestQuickDerivativeMassConserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		c := randomChain(t, n, rng)
+		pi, err := c.StationaryDirect()
+		if err != nil {
+			return false
+		}
+		aSharp, err := c.GroupInverse(pi)
+		if err != nil {
+			return false
+		}
+		tr := spmat.NewTriplet(n, n)
+		for i := 0; i < n; i++ {
+			j1, j2 := rng.Intn(n), rng.Intn(n)
+			if j1 != j2 {
+				tr.Add(i, j1, -0.5)
+				tr.Add(i, j2, 0.5)
+			}
+		}
+		d, err := c.StationaryDerivative(pi, tr.ToCSR(), aSharp)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range d {
+			sum += v
+		}
+		return math.Abs(sum) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

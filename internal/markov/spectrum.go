@@ -1,0 +1,93 @@
+package markov
+
+import (
+	"errors"
+	"math"
+)
+
+// Spectral analysis of stationary functions on the chain. The paper names
+// the autocorrelation of a function on the MC states as the canonical
+// computation after the stationary vector; its Fourier transform is the
+// power spectral density — for f = phase error, the recovered clock's
+// phase-noise spectrum, the quantity clock specifications are written
+// against.
+
+// SpectralDensity evaluates the one-sided power spectral density of the
+// stationary process f(X_k) at the given normalized frequencies
+// (cycles/step, in (0, 0.5]):
+//
+//	S(ν) = r(0) + 2·Σ_{k=1..maxLag} w_k·r(k)·cos(2πνk)
+//
+// where r is the autocovariance and w_k a Bartlett (triangular) window
+// that keeps the truncated estimate non-negative. maxLag bounds the
+// matvec count; it should exceed the chain's correlation time.
+func (c *Chain) SpectralDensity(pi, f []float64, maxLag int, freqs []float64) ([]float64, error) {
+	if maxLag < 1 {
+		return nil, errors.New("markov: maxLag must be positive")
+	}
+	for _, nu := range freqs {
+		if nu <= 0 || nu > 0.5 {
+			return nil, errors.New("markov: frequencies must lie in (0, 0.5]")
+		}
+	}
+	cov, err := c.Autocovariance(pi, f, maxLag)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(freqs))
+	for i, nu := range freqs {
+		s := cov[0]
+		for k := 1; k <= maxLag; k++ {
+			w := 1 - float64(k)/float64(maxLag+1) // Bartlett window
+			s += 2 * w * cov[k] * math.Cos(2*math.Pi*nu*float64(k))
+		}
+		if s < 0 {
+			s = 0 // windowing guarantees ≥ 0 up to rounding
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// AsymptoticVariance returns σ²∞ = r(0) + 2·Σ_{k≥1} r(k), the variance
+// constant of the central limit theorem for time averages of f(X_k):
+// Var[(1/n)Σf(X_k)] ≈ σ²∞/n. It quantifies how much a Monte Carlo
+// estimate of E[f] is inflated by the chain's correlation relative to an
+// i.i.d. sampler (the ratio σ²∞/r(0) is the integrated autocorrelation
+// time). The sum is truncated at maxLag, which must exceed the
+// correlation time for an accurate constant.
+func (c *Chain) AsymptoticVariance(pi, f []float64, maxLag int) (float64, error) {
+	if maxLag < 1 {
+		return 0, errors.New("markov: maxLag must be positive")
+	}
+	cov, err := c.Autocovariance(pi, f, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	s := cov[0]
+	for k := 1; k <= maxLag; k++ {
+		s += 2 * cov[k]
+	}
+	if s < 0 {
+		s = 0
+	}
+	return s, nil
+}
+
+// IntegratedAutocorrelationTime returns τ = σ²∞ / r(0) ≥ 0; a Monte Carlo
+// run needs τ× more samples than an i.i.d. one for the same precision on
+// E[f]. Degenerate (constant) f returns an error.
+func (c *Chain) IntegratedAutocorrelationTime(pi, f []float64, maxLag int) (float64, error) {
+	cov, err := c.Autocovariance(pi, f, 0)
+	if err != nil {
+		return 0, err
+	}
+	if cov[0] <= 0 {
+		return 0, errors.New("markov: degenerate function, zero variance")
+	}
+	s, err := c.AsymptoticVariance(pi, f, maxLag)
+	if err != nil {
+		return 0, err
+	}
+	return s / cov[0], nil
+}

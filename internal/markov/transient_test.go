@@ -1,0 +1,173 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEvolveConvergesToStationary(t *testing.T) {
+	a, b := 0.3, 0.2
+	c := twoState(t, a, b)
+	x, err := c.Evolve([]float64{1, 0}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(x, wantTwoState(a, b)); d > 1e-12 {
+		t.Fatalf("evolved distribution off by %g", d)
+	}
+	// Zero steps returns the (normalized) start.
+	x0, err := c.Evolve([]float64{2, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 1 || x0[1] != 0 {
+		t.Fatalf("zero-step evolve = %v", x0)
+	}
+}
+
+func TestEvolveErrors(t *testing.T) {
+	c := twoState(t, 0.3, 0.2)
+	if _, err := c.Evolve([]float64{1}, 5); err == nil {
+		t.Error("bad length accepted")
+	}
+	if _, err := c.Evolve([]float64{1, 0}, -1); err == nil {
+		t.Error("negative steps accepted")
+	}
+	if _, err := c.Evolve([]float64{0, 0}, 1); err == nil {
+		t.Error("zero mass accepted")
+	}
+}
+
+func TestExpectedCumulativeStationaryIsLinear(t *testing.T) {
+	a, b := 0.3, 0.2
+	c := twoState(t, a, b)
+	pi := wantTwoState(a, b)
+	f := []float64{0.1, 0.4}
+	mu, err := Expectation(pi, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, steps := range []int{1, 10, 57} {
+		got, err := c.ExpectedCumulative(pi, f, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-mu*float64(steps)) > 1e-12*float64(steps) {
+			t.Fatalf("cumulative(%d) = %g, want %g", steps, got, mu*float64(steps))
+		}
+	}
+}
+
+func TestSurvivalProbabilityIIDCase(t *testing.T) {
+	// All rows equal and constant event probability e: survival = (1-e)^n.
+	c := chainFromRows(t, [][]float64{
+		{0.3, 0.7},
+		{0.3, 0.7},
+	})
+	e := 0.01
+	s, err := c.SurvivalProbability([]float64{0.3, 0.7}, []float64{e, e}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1-e, 100)
+	if math.Abs(s-want) > 1e-12 {
+		t.Fatalf("survival = %g, want %g", s, want)
+	}
+}
+
+func TestSurvivalStateDependence(t *testing.T) {
+	// Errors only in state 1; starting in state 0 of a slowly-switching
+	// chain survives longer than starting in state 1.
+	c := chainFromRows(t, [][]float64{
+		{0.95, 0.05},
+		{0.05, 0.95},
+	})
+	e := []float64{0, 0.2}
+	s0, err := c.SurvivalProbability([]float64{1, 0}, e, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := c.SurvivalProbability([]float64{0, 1}, e, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s0 <= s1 {
+		t.Fatalf("survival from safe state %g <= from risky state %g", s0, s1)
+	}
+}
+
+func TestSurvivalValidation(t *testing.T) {
+	c := twoState(t, 0.3, 0.2)
+	if _, err := c.SurvivalProbability([]float64{1, 0}, []float64{0.5}, 5); err == nil {
+		t.Error("bad eventProb length accepted")
+	}
+	if _, err := c.SurvivalProbability([]float64{1, 0}, []float64{1.5, 0}, 5); err == nil {
+		t.Error("eventProb > 1 accepted")
+	}
+	if _, err := c.SurvivalProbability([]float64{1, 0}, []float64{-0.1, 0}, 5); err == nil {
+		t.Error("negative eventProb accepted")
+	}
+	if _, err := c.SurvivalProbability([]float64{1, 0}, []float64{0, 0}, -1); err == nil {
+		t.Error("negative steps accepted")
+	}
+}
+
+func TestFrameErrorRateComplementsSurvival(t *testing.T) {
+	c := twoState(t, 0.3, 0.2)
+	e := []float64{0.001, 0.01}
+	pi := wantTwoState(0.3, 0.2)
+	s, err := c.SurvivalProbability(pi, e, 810*8) // SONET STS-1 frame bits
+	if err != nil {
+		t.Fatal(err)
+	}
+	fer, err := c.FrameErrorRate(pi, e, 810*8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s+fer-1) > 1e-15 {
+		t.Fatalf("survival %g + FER %g != 1", s, fer)
+	}
+}
+
+// Property: survival is monotone non-increasing in the horizon and bounded
+// by the i.i.d. envelopes built from min/max event probabilities.
+func TestQuickSurvivalBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		c := randomChain(t, n, rng)
+		e := make([]float64, n)
+		lo, hi := 1.0, 0.0
+		for i := range e {
+			e[i] = rng.Float64() * 0.3
+			if e[i] < lo {
+				lo = e[i]
+			}
+			if e[i] > hi {
+				hi = e[i]
+			}
+		}
+		x0 := c.Uniform()
+		prev := 1.0
+		for _, steps := range []int{1, 3, 7, 15} {
+			s, err := c.SurvivalProbability(x0, e, steps)
+			if err != nil {
+				return false
+			}
+			if s > prev+1e-12 {
+				return false
+			}
+			prev = s
+			if s > math.Pow(1-lo, float64(steps))+1e-12 ||
+				s < math.Pow(1-hi, float64(steps))-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package multigrid
+
+import (
+	"math"
+	"testing"
+
+	"cdrstoch/internal/spmat"
+)
+
+func TestSolveCustomX0ConvergesSameFixedPoint(t *testing.T) {
+	n := 32
+	p := randomWalkChain(n, 0.3, 0.2)
+	parts, err := BuildPairHierarchy(n, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(p, parts, Config{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately lopsided but valid start.
+	x0 := make([]float64, n)
+	x0[0] = 10
+	x0[n-1] = 1
+	res, err := s.Solve(x0)
+	if err != nil || !res.Converged {
+		t.Fatalf("%v %+v", err, res)
+	}
+	ref, err := spmat.StationaryGTHCSR(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAbsDiff(res.Pi, ref); d > 1e-10 {
+		t.Fatalf("custom X0 converged elsewhere: off by %g", d)
+	}
+}
+
+func TestSolverReuseAcrossSolves(t *testing.T) {
+	// The solver is stateless across Solve calls: two solves from
+	// different starts agree.
+	n := 16
+	p := randomWalkChain(n, 0.35, 0.15)
+	parts, err := BuildPairHierarchy(n, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(p, parts, Config{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Solve(nil)
+	if err != nil || !a.Converged {
+		t.Fatalf("%v %+v", err, a)
+	}
+	x0 := make([]float64, n)
+	x0[3] = 1
+	b, err := s.Solve(x0)
+	if err != nil || !b.Converged {
+		t.Fatalf("%v %+v", err, b)
+	}
+	if d := maxAbsDiff(a.Pi, b.Pi); d > 1e-10 {
+		t.Fatalf("solves disagree by %g", d)
+	}
+}
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.PreSmooth != 1 || cfg.PostSmooth != 1 {
+		t.Error("smoothing defaults")
+	}
+	if math.Abs(cfg.Damping-0.9) > 1e-15 {
+		t.Error("damping default")
+	}
+	if cfg.Tol != 1e-12 || cfg.MaxCycles != 200 || cfg.CoarsestMaxIter != 500 {
+		t.Error("iteration defaults")
+	}
+	// Out-of-range damping resets to the default.
+	cfg = Config{Damping: 1.5}.withDefaults()
+	if cfg.Damping != 0.9 {
+		t.Error("damping clamp")
+	}
+}

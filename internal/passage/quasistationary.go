@@ -1,0 +1,115 @@
+package passage
+
+import (
+	"errors"
+	"math"
+
+	"cdrstoch/internal/spmat"
+)
+
+// Quasi-stationary analysis: conditioned on never having entered the
+// target (slip) set, the loop state converges to the quasi-stationary
+// distribution ν — the left Perron eigenvector of the substochastic
+// matrix Q (the TPM restricted to non-target states):
+//
+//	ν·Q = λ·ν,  λ < 1,
+//
+// and the survival probability decays geometrically, P(T > k) ≈ C·λᵏ.
+// 1−λ is the asymptotic slip hazard per bit, the sharp version of the
+// stationary-flux estimate; ν is the ensemble a long-surviving receiver
+// actually operates in (e.g. for the BER of links that are reset on
+// slip).
+
+// QuasiStationaryResult reports the quasi-stationary solve.
+type QuasiStationaryResult struct {
+	// Nu is the quasi-stationary distribution over ALL states (zero on
+	// the target set), normalized to unit mass.
+	Nu []float64
+	// Lambda is the Perron eigenvalue of Q: the per-step survival
+	// probability of the conditioned process.
+	Lambda float64
+	// HazardPerStep is 1 − Lambda, the asymptotic slip rate.
+	HazardPerStep float64
+	// Iterations is the number of power steps performed.
+	Iterations int
+	// Converged reports whether the eigenvector residual met tol.
+	Converged bool
+}
+
+// QuasiStationary computes (ν, λ) by power iteration on the substochastic
+// restriction of p to the complement of target, renormalizing each sweep
+// (the normalization factor converges to λ).
+func QuasiStationary(p *spmat.CSR, target []bool, tol float64, maxIter int) (QuasiStationaryResult, error) {
+	n, m := p.Dims()
+	if n != m {
+		return QuasiStationaryResult{}, errors.New("passage: TPM must be square")
+	}
+	if len(target) != n {
+		return QuasiStationaryResult{}, errors.New("passage: target length mismatch")
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	inside := 0
+	for _, b := range target {
+		if b {
+			inside++
+		}
+	}
+	if inside == 0 {
+		return QuasiStationaryResult{}, errors.New("passage: empty target set")
+	}
+	if inside == n {
+		return QuasiStationaryResult{}, errors.New("passage: no surviving states")
+	}
+
+	x := make([]float64, n)
+	for i := range x {
+		if !target[i] {
+			x[i] = 1
+		}
+	}
+	norm := 0.0
+	for _, v := range x {
+		norm += v
+	}
+	for i := range x {
+		x[i] /= norm
+	}
+	y := make([]float64, n)
+	res := QuasiStationaryResult{}
+	for it := 1; it <= maxIter; it++ {
+		// y = x·Q: propagate through P, then zero the target states.
+		p.VecMul(y, x)
+		lambda := 0.0
+		for i := range y {
+			if target[i] {
+				y[i] = 0
+			} else {
+				lambda += y[i]
+			}
+		}
+		if lambda <= 0 {
+			return QuasiStationaryResult{}, errors.New("passage: survival mass vanished (target absorbs immediately)")
+		}
+		resid := 0.0
+		inv := 1 / lambda
+		for i := range y {
+			y[i] *= inv
+			resid += math.Abs(y[i] - x[i])
+		}
+		x, y = y, x
+		res.Iterations = it
+		res.Lambda = lambda
+		if resid <= tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Nu = x
+	res.HazardPerStep = 1 - res.Lambda
+	return res, nil
+}

@@ -1,0 +1,242 @@
+// Package pdd implements probability decision diagrams: reduced ordered
+// algebraic decision diagrams (ADDs) over the binary encoding of the
+// state index, representing probability vectors with node sharing. The
+// paper cites such structured representations (Bozga & Maler, CAV'99) as
+// the route to storing distributions "over structured domains" when even
+// the stationary vector outgrows explicit storage; the CDR stationary
+// vectors are highly structured (smooth in the phase coordinate,
+// near-product across components), which decision diagrams exploit.
+//
+// The implementation is a textbook reduced ADD: terminals hold float64
+// values (optionally quantized to a tolerance to enable sharing between
+// nearly equal leaves), internal nodes branch on one bit of the state
+// index (most significant bit first), and a unique table guarantees
+// canonicity, so structurally equal subtrees are stored once.
+package pdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Diagram is a canonical reduced ADD for a vector of length 2^bits
+// (shorter vectors are zero-padded; Len records the true length).
+type Diagram struct {
+	// Len is the represented vector length.
+	Len int
+
+	bits  int
+	root  int
+	nodes []node // nodes[0..] internal; terminals are encoded separately
+	terms []float64
+
+	// builder state
+	unique map[nodeKey]int
+	tset   map[float64]int
+	tol    float64
+}
+
+// node is an internal decision node: branch on bit level (MSB = level 0).
+type node struct {
+	level  int
+	lo, hi int // references: >=0 internal node index, <0 ~terminal index
+}
+
+type nodeKey struct {
+	level  int
+	lo, hi int
+}
+
+// ref encoding: internal nodes are non-negative indices; terminal t is
+// encoded as -(t+1).
+func termRef(t int) int { return -(t + 1) }
+func isTerm(r int) bool { return r < 0 }
+func termIdx(r int) int { return -r - 1 }
+
+// FromVector builds a reduced diagram for v. Terminal values are
+// quantized to multiples of tol before sharing (tol = 0 shares only
+// exactly equal values). The input is not retained.
+func FromVector(v []float64, tol float64) (*Diagram, error) {
+	if len(v) == 0 {
+		return nil, errors.New("pdd: empty vector")
+	}
+	if tol < 0 {
+		return nil, errors.New("pdd: negative tolerance")
+	}
+	bits := 0
+	for (1 << bits) < len(v) {
+		bits++
+	}
+	d := &Diagram{
+		Len:    len(v),
+		bits:   bits,
+		unique: map[nodeKey]int{},
+		tset:   map[float64]int{},
+		tol:    tol,
+	}
+	d.root = d.build(v, 0, 0)
+	return d, nil
+}
+
+// terminal interns a (quantized) terminal value and returns its ref.
+func (d *Diagram) terminal(v float64) int {
+	if d.tol > 0 {
+		v = math.Round(v/d.tol) * d.tol
+	}
+	if v == 0 {
+		v = 0 // normalize -0
+	}
+	if t, ok := d.tset[v]; ok {
+		return termRef(t)
+	}
+	t := len(d.terms)
+	d.terms = append(d.terms, v)
+	d.tset[v] = t
+	return termRef(t)
+}
+
+// mk interns an internal node, applying the ADD reduction rule
+// (lo == hi collapses to the child).
+func (d *Diagram) mk(level, lo, hi int) int {
+	if lo == hi {
+		return lo
+	}
+	key := nodeKey{level: level, lo: lo, hi: hi}
+	if n, ok := d.unique[key]; ok {
+		return n
+	}
+	n := len(d.nodes)
+	d.nodes = append(d.nodes, node{level: level, lo: lo, hi: hi})
+	d.unique[key] = n
+	return n
+}
+
+// build recursively constructs the subdiagram for indices with the given
+// bit prefix. level counts from the MSB; base is the first index of the
+// block.
+func (d *Diagram) build(v []float64, level, base int) int {
+	if level == d.bits {
+		if base < len(v) {
+			return d.terminal(v[base])
+		}
+		return d.terminal(0)
+	}
+	half := 1 << (d.bits - level - 1)
+	lo := d.build(v, level+1, base)
+	hi := d.build(v, level+1, base+half)
+	return d.mk(level, lo, hi)
+}
+
+// NumNodes returns the count of internal nodes plus distinct terminals —
+// the diagram's storage size, to compare against Len explicit floats.
+func (d *Diagram) NumNodes() int { return len(d.nodes) + len(d.terms) }
+
+// NumTerminals returns the number of distinct leaf values.
+func (d *Diagram) NumTerminals() int { return len(d.terms) }
+
+// CompressionRatio returns Len / NumNodes; above 1 the diagram is smaller
+// than the explicit vector.
+func (d *Diagram) CompressionRatio() float64 {
+	return float64(d.Len) / float64(d.NumNodes())
+}
+
+// At evaluates the vector entry at index i by walking the diagram.
+func (d *Diagram) At(i int) (float64, error) {
+	if i < 0 || i >= d.Len {
+		return 0, fmt.Errorf("pdd: index %d out of range %d", i, d.Len)
+	}
+	r := d.root
+	for !isTerm(r) {
+		n := d.nodes[r]
+		// Skipped levels mean both halves are equal: no bit test needed
+		// for them; test only the node's own bit.
+		if i&(1<<(d.bits-n.level-1)) != 0 {
+			r = n.hi
+		} else {
+			r = n.lo
+		}
+	}
+	return d.terms[termIdx(r)], nil
+}
+
+// ToVector expands the diagram back to an explicit vector.
+func (d *Diagram) ToVector() []float64 {
+	out := make([]float64, d.Len)
+	d.fill(out, d.root, 0, 0)
+	return out
+}
+
+// fill writes the subdiagram's block into out.
+func (d *Diagram) fill(out []float64, r, level, base int) {
+	if base >= len(out) {
+		return
+	}
+	if isTerm(r) {
+		v := d.terms[termIdx(r)]
+		end := base + (1 << (d.bits - level))
+		if end > len(out) {
+			end = len(out)
+		}
+		for i := base; i < end; i++ {
+			out[i] = v
+		}
+		return
+	}
+	n := d.nodes[r]
+	// Expand skipped levels implicitly: the node's level may be deeper
+	// than `level`; everything between is a "both halves equal" region,
+	// which fill handles by recursing with the same ref on both halves.
+	if n.level > level {
+		half := 1 << (d.bits - level - 1)
+		d.fill(out, r, level+1, base)
+		d.fill(out, r, level+1, base+half)
+		return
+	}
+	half := 1 << (d.bits - n.level - 1)
+	d.fill(out, n.lo, n.level+1, base)
+	d.fill(out, n.hi, n.level+1, base+half)
+}
+
+// Sum returns the total mass of the represented (padded) vector, computed
+// in one bottom-up pass over the shared structure: the cost is
+// proportional to the diagram size, not the vector length. Zero padding
+// contributes nothing because quantization maps 0 to 0.
+func (d *Diagram) Sum() float64 {
+	// memo[r] holds the mass of internal node r evaluated at its own
+	// level; reaching it from a shallower level multiplies by the number
+	// of skipped-level copies.
+	memo := map[int]float64{}
+	var rec func(r, level int) float64
+	rec = func(r, level int) float64 {
+		if isTerm(r) {
+			width := float64(int64(1) << (d.bits - level))
+			return d.terms[termIdx(r)] * width
+		}
+		n := d.nodes[r]
+		factor := float64(int64(1) << (n.level - level))
+		if v, ok := memo[r]; ok {
+			return factor * v
+		}
+		v := rec(n.lo, n.level+1) + rec(n.hi, n.level+1)
+		memo[r] = v
+		return factor * v
+	}
+	return rec(d.root, 0)
+}
+
+// MaxAbsError returns the largest |d(i) − v(i)| against a reference
+// vector, bounding the quantization loss.
+func (d *Diagram) MaxAbsError(v []float64) (float64, error) {
+	if len(v) != d.Len {
+		return 0, errors.New("pdd: length mismatch")
+	}
+	got := d.ToVector()
+	maxErr := 0.0
+	for i := range v {
+		if e := math.Abs(got[i] - v[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	return maxErr, nil
+}

@@ -1,0 +1,194 @@
+package pdd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 8, 17, 100} {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		d, err := FromVector(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := d.ToVector()
+		if len(back) != n {
+			t.Fatalf("n=%d: round trip length %d", n, len(back))
+		}
+		for i := range v {
+			if back[i] != v[i] {
+				t.Fatalf("n=%d: entry %d: %g vs %g", n, i, back[i], v[i])
+			}
+			at, err := d.At(i)
+			if err != nil || at != v[i] {
+				t.Fatalf("n=%d: At(%d) = %g (err %v), want %g", n, i, at, err, v[i])
+			}
+		}
+	}
+}
+
+func TestUniformVectorCollapses(t *testing.T) {
+	v := make([]float64, 1024)
+	for i := range v {
+		v[i] = 0.25
+	}
+	d, err := FromVector(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A constant function reduces to a single terminal.
+	if d.NumNodes() != 1 {
+		t.Fatalf("uniform vector uses %d nodes", d.NumNodes())
+	}
+	if d.CompressionRatio() < 1000 {
+		t.Fatalf("compression ratio %g", d.CompressionRatio())
+	}
+	if got, _ := d.At(513); got != 0.25 {
+		t.Fatalf("At = %g", got)
+	}
+}
+
+func TestPeriodicVectorShares(t *testing.T) {
+	// A vector with period 4 over 256 entries: massive subtree sharing.
+	v := make([]float64, 256)
+	pat := []float64{0.1, 0.2, 0.3, 0.4}
+	for i := range v {
+		v[i] = pat[i%4]
+	}
+	d, err := FromVector(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() > 16 {
+		t.Fatalf("periodic vector uses %d nodes", d.NumNodes())
+	}
+	if err := checkEqual(d, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func checkEqual(d *Diagram, v []float64) error {
+	back := d.ToVector()
+	for i := range v {
+		if back[i] != v[i] {
+			return fmt.Errorf("mismatch at %d: %g vs %g", i, back[i], v[i])
+		}
+	}
+	return nil
+}
+
+func TestQuantizationSharing(t *testing.T) {
+	// Nearly-equal values share terminals under a tolerance.
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 512)
+	for i := range v {
+		v[i] = 0.5 + 1e-9*rng.Float64()
+	}
+	exact, err := FromVector(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := FromVector(v, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quant.NumNodes() != 1 {
+		t.Fatalf("quantized diagram uses %d nodes", quant.NumNodes())
+	}
+	if exact.NumNodes() < 100 {
+		t.Fatalf("exact diagram unexpectedly small: %d", exact.NumNodes())
+	}
+	maxErr, err := quant.MaxAbsError(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxErr > 1e-6 {
+		t.Fatalf("quantization error %g exceeds tolerance", maxErr)
+	}
+}
+
+func TestSumMatchesVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{5, 64, 200, 1000} {
+		v := make([]float64, n)
+		want := 0.0
+		for i := range v {
+			v[i] = rng.Float64()
+			want += v[i]
+		}
+		d, err := FromVector(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := d.Sum(); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("n=%d: Sum = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := FromVector(nil, 0); err == nil {
+		t.Error("empty vector accepted")
+	}
+	if _, err := FromVector([]float64{1}, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	d, err := FromVector([]float64{1, 2, 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.At(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := d.At(3); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := d.MaxAbsError([]float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+// Property: round trip is exact at tol 0 and within tol otherwise, and
+// Sum matches the explicit sum.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, tolPick uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		v := make([]float64, n)
+		sum := 0.0
+		for i := range v {
+			v[i] = rng.NormFloat64()
+			sum += v[i]
+		}
+		tol := 0.0
+		if tolPick%2 == 1 {
+			tol = 1e-4
+		}
+		d, err := FromVector(v, tol)
+		if err != nil {
+			return false
+		}
+		maxErr, err := d.MaxAbsError(v)
+		if err != nil {
+			return false
+		}
+		if tol == 0 && maxErr != 0 {
+			return false
+		}
+		if maxErr > tol/2+1e-15 {
+			return false
+		}
+		return math.Abs(d.Sum()-sum) <= float64(n)*(tol/2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

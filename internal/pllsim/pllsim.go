@@ -1,0 +1,253 @@
+// Package pllsim is a behavioral simulator for the analog half of the CDR
+// circuit of the paper's Figure 1: a charge-pump phase-locked loop — PFD,
+// charge pump, passive RC loop filter, VCO with device noise, and a /N
+// feedback divider — generating the multi-phase clock whose jitter feeds
+// the digital phase-selection loop.
+//
+// The paper treats the internal clock jitter as an input characterized
+// "using techniques covered elsewhere" and folds it into the stochastic
+// model's noise sources. This package is that substrate: it simulates the
+// loop at one update per reference cycle (the standard discrete-time
+// charge-pump PLL approximation), extracts the steady-state phase-jitter
+// samples of the output clock in UI, and quantizes them into a grid PMF
+// (dist.FromSamples) that the CDR model accepts as an additional jitter
+// contribution.
+package pllsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cdrstoch/internal/dist"
+)
+
+// Params describes the charge-pump PLL.
+type Params struct {
+	// RefFreq is the crystal reference frequency in Hz.
+	RefFreq float64
+	// N is the feedback divider modulus; the output runs at N·RefFreq.
+	N int
+	// F0 is the VCO free-running frequency in Hz.
+	F0 float64
+	// Kvco is the VCO gain in Hz/V.
+	Kvco float64
+	// Ip is the charge-pump current in A.
+	Ip float64
+	// R and C form the series loop-filter zero; C2 is the ripple
+	// capacitor (shunt pole). Farads and ohms.
+	R, C, C2 float64
+	// Mismatch is the fractional up/down charge-pump current mismatch
+	// (a classic source of static phase offset and reference spurs).
+	Mismatch float64
+	// ResetPulse is the PFD reset-overlap pulse width as a fraction of
+	// the reference period. During the overlap both pump currents are on,
+	// so a mismatched pump injects net charge every cycle and the loop
+	// settles at a compensating static phase error.
+	ResetPulse float64
+	// FMNoise is the RMS white frequency noise of the VCO per reference
+	// cycle, in Hz (accumulating phase jitter — the random-walk
+	// component).
+	FMNoise float64
+	// PMNoise is the RMS white phase noise added to each output phase
+	// sample, in VCO cycles (non-accumulating).
+	PMNoise float64
+	// Seed seeds the noise generator.
+	Seed int64
+}
+
+// DefaultParams returns a 155.52 MHz (SONET STM-1 line rate class) PLL:
+// 19.44 MHz crystal, /8 divider, textbook filter values giving a loop
+// bandwidth around 1 MHz with phase margin near 60°.
+func DefaultParams() Params {
+	return Params{
+		RefFreq:    19.44e6,
+		N:          8,
+		F0:         150e6,
+		Kvco:       50e6,
+		Ip:         100e-6,
+		R:          6.8e3,
+		C:          220e-12,
+		C2:         22e-12,
+		Mismatch:   0.02,
+		ResetPulse: 0.02,
+		FMNoise:    40e3,
+		PMNoise:    0.002,
+		Seed:       1,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.RefFreq <= 0 || p.F0 <= 0 || p.Kvco <= 0 || p.Ip <= 0 {
+		return errors.New("pllsim: frequencies, gain and current must be positive")
+	}
+	if p.N < 1 {
+		return errors.New("pllsim: divider modulus must be >= 1")
+	}
+	if p.R <= 0 || p.C <= 0 || p.C2 < 0 {
+		return errors.New("pllsim: filter components must be positive (C2 may be zero)")
+	}
+	if p.Mismatch < 0 || p.Mismatch >= 1 {
+		return errors.New("pllsim: mismatch outside [0,1)")
+	}
+	if p.ResetPulse < 0 || p.ResetPulse >= 1 {
+		return errors.New("pllsim: reset pulse outside [0,1)")
+	}
+	if p.FMNoise < 0 || p.PMNoise < 0 {
+		return errors.New("pllsim: negative noise")
+	}
+	return nil
+}
+
+// Result reports a PLL characterization run.
+type Result struct {
+	// Samples holds the steady-state per-cycle output phase jitter in UI
+	// of the output clock (deviation from the ideal N·RefFreq ramp, with
+	// the static offset removed).
+	Samples []float64
+	// RMS and PkPk summarize the jitter samples.
+	RMS, PkPk float64
+	// CycleToCycle is the RMS of first differences (period jitter).
+	CycleToCycle float64
+	// StaticOffsetUI is the mean phase offset that was removed (driven by
+	// charge-pump mismatch).
+	StaticOffsetUI float64
+	// MeanFreq is the average output frequency over the measured span.
+	MeanFreq float64
+	// LockCycles is the number of reference cycles discarded as the
+	// acquisition transient.
+	LockCycles int
+}
+
+// Simulate runs the PLL for the given number of reference cycles and
+// characterizes the steady-state output jitter. The first 25% of cycles
+// (at least 256) are treated as the acquisition transient and discarded.
+func Simulate(p Params, cycles int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if cycles < 1024 {
+		return nil, fmt.Errorf("pllsim: need at least 1024 cycles, got %d", cycles)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	tRef := 1 / p.RefFreq
+	fOut := float64(p.N) * p.RefFreq
+
+	// Loop state: vC is the integrator (series capacitor) voltage, vCtrl
+	// the ripple-filtered control voltage, phiOut the VCO phase in cycles,
+	// phiErr the PFD phase error in reference cycles.
+	var vC, vCtrl, phiOut float64
+	phiRef := 0.0
+
+	lock := cycles / 4
+	if lock < 256 {
+		lock = 256
+	}
+	samples := make([]float64, 0, cycles-lock)
+	var firstPhi, lastPhi float64
+	alpha := 1.0
+	if p.C2 > 0 {
+		// One-pole ripple filter with time constant R·C2 sampled at tRef.
+		alpha = 1 - math.Exp(-tRef/(p.R*p.C2))
+	}
+	for k := 0; k < cycles; k++ {
+		phiRef += 1 // reference advances one cycle per step
+		phiDiv := phiOut / float64(p.N)
+		phiErr := phiRef - phiDiv // in reference cycles
+
+		// Tri-state PFD + charge pump: the pump is on for a fraction of
+		// the period proportional to |phase error| (clipped to one full
+		// period), with polarity from the error sign and up/down mismatch.
+		on := math.Abs(phiErr)
+		if on > 1 {
+			on = 1
+		}
+		i := p.Ip
+		if phiErr > 0 {
+			i *= 1 + p.Mismatch
+		} else {
+			i = -i
+		}
+		// Reset-overlap: both pumps fire for ResetPulse·T; a mismatched up
+		// pump leaves net charge Ip·Mismatch·ResetPulse·T behind.
+		overlap := p.Ip * p.Mismatch * p.ResetPulse
+		charge := (i*on + overlap) * tRef
+		vC += charge / p.C
+		instant := vC + (i*on+overlap)*p.R // resistor adds an instantaneous zero
+		vCtrl += alpha * (instant - vCtrl)
+
+		f := p.F0 + p.Kvco*vCtrl
+		if p.FMNoise > 0 {
+			f += rng.NormFloat64() * p.FMNoise
+		}
+		if f < 0 {
+			return nil, errors.New("pllsim: VCO frequency went negative (loop unstable or mis-biased)")
+		}
+		phiOut += f * tRef
+
+		if k >= lock {
+			ideal := fOut * tRef * float64(k+1)
+			jit := phiOut - ideal
+			if p.PMNoise > 0 {
+				jit += rng.NormFloat64() * p.PMNoise
+			}
+			samples = append(samples, jit)
+			if len(samples) == 1 {
+				firstPhi = phiOut
+			}
+			lastPhi = phiOut
+		}
+	}
+
+	n := float64(len(samples))
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= n
+	res := &Result{
+		Samples:        samples,
+		StaticOffsetUI: mean,
+		LockCycles:     lock,
+		MeanFreq:       (lastPhi - firstPhi) / (tRef * (n - 1)),
+	}
+	var ss, pk float64
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for i := range samples {
+		samples[i] -= mean
+		ss += samples[i] * samples[i]
+		if samples[i] < minV {
+			minV = samples[i]
+		}
+		if samples[i] > maxV {
+			maxV = samples[i]
+		}
+	}
+	pk = maxV - minV
+	res.RMS = math.Sqrt(ss / n)
+	res.PkPk = pk
+	c2c := 0.0
+	for i := 1; i < len(samples); i++ {
+		d := samples[i] - samples[i-1]
+		c2c += d * d
+	}
+	res.CycleToCycle = math.Sqrt(c2c / (n - 1))
+
+	// Divergence check: a stable locked loop keeps the jitter bounded
+	// well within a few UI; larger excursions mean the linear-range
+	// approximation broke down.
+	if res.PkPk > 8 {
+		return nil, fmt.Errorf("pllsim: peak-to-peak jitter %.2f UI — loop failed to lock", res.PkPk)
+	}
+	return res, nil
+}
+
+// JitterPMF quantizes the jitter samples onto a phase grid for use as a
+// clock-jitter contribution in the CDR model (the paper: "Once the
+// internal clock jitter has been characterized … it can easily be captured
+// in our models and analysis").
+func (r *Result) JitterPMF(step float64, maxAbsK int) (*dist.PMF, error) {
+	return dist.FromSamples(r.Samples, step, maxAbsK)
+}

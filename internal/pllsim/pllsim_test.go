@@ -1,0 +1,158 @@
+package pllsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params rejected: %v", err)
+	}
+	mutations := []func(*Params){
+		func(p *Params) { p.RefFreq = 0 },
+		func(p *Params) { p.N = 0 },
+		func(p *Params) { p.F0 = -1 },
+		func(p *Params) { p.Kvco = 0 },
+		func(p *Params) { p.Ip = 0 },
+		func(p *Params) { p.R = 0 },
+		func(p *Params) { p.C = 0 },
+		func(p *Params) { p.C2 = -1 },
+		func(p *Params) { p.Mismatch = -0.1 },
+		func(p *Params) { p.Mismatch = 1 },
+		func(p *Params) { p.FMNoise = -1 },
+		func(p *Params) { p.PMNoise = -1 },
+	}
+	for i, f := range mutations {
+		p := DefaultParams()
+		f(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateRejectsShortRuns(t *testing.T) {
+	if _, err := Simulate(DefaultParams(), 100); err == nil {
+		t.Fatal("short run accepted")
+	}
+}
+
+func TestNoiselessLoopLocks(t *testing.T) {
+	p := DefaultParams()
+	p.FMNoise = 0
+	p.PMNoise = 0
+	p.Mismatch = 0
+	res, err := Simulate(p, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fOut := float64(p.N) * p.RefFreq
+	if rel := math.Abs(res.MeanFreq-fOut) / fOut; rel > 1e-3 {
+		t.Fatalf("mean frequency off by %.2e (got %.6g, want %.6g)", rel, res.MeanFreq, fOut)
+	}
+	// Without noise the steady-state jitter collapses to the deterministic
+	// limit-cycle ripple, far below 0.05 UI for this loop.
+	if res.RMS > 0.05 {
+		t.Fatalf("noiseless RMS jitter %.4g UI", res.RMS)
+	}
+}
+
+func TestNoiseIncreasesJitter(t *testing.T) {
+	quiet := DefaultParams()
+	quiet.FMNoise = 0
+	quiet.PMNoise = 0
+	noisy := DefaultParams()
+	noisy.FMNoise = 200e3
+	rq, err := Simulate(quiet, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Simulate(noisy, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.RMS <= rq.RMS {
+		t.Fatalf("noise did not increase jitter: %g vs %g", rn.RMS, rq.RMS)
+	}
+	if rn.PkPk <= 0 || rn.CycleToCycle <= 0 {
+		t.Error("degenerate jitter statistics")
+	}
+}
+
+func TestMismatchCreatesStaticOffset(t *testing.T) {
+	p := DefaultParams()
+	p.FMNoise = 0
+	p.PMNoise = 0
+	p.Mismatch = 0.1
+	res, err := Simulate(p, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noOff := p
+	noOff.Mismatch = 0
+	ref, err := Simulate(noOff, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.StaticOffsetUI-ref.StaticOffsetUI) < 1e-4 {
+		t.Fatalf("mismatch did not move the static offset: %.9f vs %.9f",
+			res.StaticOffsetUI, ref.StaticOffsetUI)
+	}
+}
+
+func TestUnstableLoopDetected(t *testing.T) {
+	p := DefaultParams()
+	p.Ip = 1 // absurd pump current: loop gain far beyond stability
+	p.Kvco = 5e9
+	if _, err := Simulate(p, 5000); err == nil {
+		t.Fatal("unstable loop not detected")
+	}
+}
+
+func TestReproducibleWithSeed(t *testing.T) {
+	p := DefaultParams()
+	a, err := Simulate(p, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(p, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RMS != b.RMS || a.PkPk != b.PkPk {
+		t.Fatal("same seed produced different results")
+	}
+	p.Seed = 99
+	c, err := Simulate(p, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RMS == a.RMS {
+		t.Fatal("different seed produced identical jitter")
+	}
+}
+
+func TestJitterPMF(t *testing.T) {
+	res, err := Simulate(DefaultParams(), 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pmf, err := res.JitterPMF(1.0/64, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, v := range pmf.Prob {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("PMF mass %g", sum)
+	}
+	// The PMF std should be in the ballpark of the sample RMS (quantization
+	// adds at most ~one grid step).
+	if d := math.Abs(pmf.Std() - res.RMS); d > 1.0/64 {
+		t.Fatalf("PMF std %g vs sample RMS %g", pmf.Std(), res.RMS)
+	}
+}

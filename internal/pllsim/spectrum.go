@@ -1,0 +1,89 @@
+package pllsim
+
+import (
+	"errors"
+	"math"
+)
+
+// Spectral and accumulation analyses of the characterized jitter, the
+// standard presentations of recovered-clock quality ("There are also
+// specifications on the recovered clock jitter"): a periodogram of the
+// phase-jitter samples, and the N-cycle accumulated jitter curve that
+// separates white phase noise (flat) from random-walk frequency noise
+// (growing as √N until the loop bandwidth takes over).
+
+// Periodogram estimates the one-sided power spectral density of samples
+// taken at sampleRate (Hz) on nFreq linearly spaced frequencies in
+// (0, sampleRate/2]. It returns the frequencies and the PSD in
+// units²/Hz, using a direct Goertzel-style DFT per bin (no FFT needed at
+// the bin counts used here).
+func Periodogram(samples []float64, sampleRate float64, nFreq int) (freq, psd []float64, err error) {
+	n := len(samples)
+	if n < 8 {
+		return nil, nil, errors.New("pllsim: too few samples for a periodogram")
+	}
+	if sampleRate <= 0 || nFreq < 1 {
+		return nil, nil, errors.New("pllsim: bad periodogram parameters")
+	}
+	// Remove the mean so DC leakage does not swamp the low bins.
+	mean := 0.0
+	for _, s := range samples {
+		mean += s
+	}
+	mean /= float64(n)
+
+	freq = make([]float64, nFreq)
+	psd = make([]float64, nFreq)
+	for b := 0; b < nFreq; b++ {
+		f := sampleRate / 2 * float64(b+1) / float64(nFreq)
+		freq[b] = f
+		omega := 2 * math.Pi * f / sampleRate
+		// Goertzel recurrence for the DFT coefficient at omega.
+		coeff := 2 * math.Cos(omega)
+		var s0, s1, s2 float64
+		for _, x := range samples {
+			s0 = (x - mean) + coeff*s1 - s2
+			s2 = s1
+			s1 = s0
+		}
+		power := s1*s1 + s2*s2 - coeff*s1*s2
+		// One-sided PSD normalization: 2·|X|²/(fs·N).
+		psd[b] = 2 * power / (sampleRate * float64(n))
+	}
+	return freq, psd, nil
+}
+
+// PhaseNoisePSD runs the periodogram on the result's jitter samples using
+// the reference frequency as the sample rate.
+func (r *Result) PhaseNoisePSD(refFreq float64, nFreq int) (freq, psd []float64, err error) {
+	return Periodogram(r.Samples, refFreq, nFreq)
+}
+
+// AccumulatedJitter returns J(N) = RMS of (x[k+N] − x[k]) for each lag N
+// in lags — the N-cycle (long-term) jitter curve. For white phase noise
+// J(N) is flat at √2·RMS; for white frequency (random-walk phase) noise
+// inside the loop bandwidth it grows like √N before the loop flattens it.
+func AccumulatedJitter(samples []float64, lags []int) ([]float64, error) {
+	if len(samples) < 2 {
+		return nil, errors.New("pllsim: too few samples")
+	}
+	out := make([]float64, len(lags))
+	for li, lag := range lags {
+		if lag < 1 || lag >= len(samples) {
+			return nil, errors.New("pllsim: lag outside sample span")
+		}
+		ss := 0.0
+		n := len(samples) - lag
+		for k := 0; k < n; k++ {
+			d := samples[k+lag] - samples[k]
+			ss += d * d
+		}
+		out[li] = math.Sqrt(ss / float64(n))
+	}
+	return out, nil
+}
+
+// AccumulatedJitter evaluates the curve on the result's samples.
+func (r *Result) AccumulatedJitter(lags []int) ([]float64, error) {
+	return AccumulatedJitter(r.Samples, lags)
+}

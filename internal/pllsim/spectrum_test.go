@@ -1,0 +1,180 @@
+package pllsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPeriodogramDetectsSinusoid(t *testing.T) {
+	fs := 1000.0
+	f0 := 125.0
+	n := 4096
+	samples := make([]float64, n)
+	for k := range samples {
+		samples[k] = math.Sin(2 * math.Pi * f0 * float64(k) / fs)
+	}
+	freq, psd, err := Periodogram(samples, fs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak, peakF := 0.0, 0.0
+	for i, p := range psd {
+		if p > peak {
+			peak, peakF = p, freq[i]
+		}
+	}
+	if math.Abs(peakF-f0) > fs/2/100 {
+		t.Fatalf("peak at %g Hz, want %g", peakF, f0)
+	}
+	// The peak must dominate distant bins by orders of magnitude.
+	far := psd[10] // 55 Hz
+	if peak < 1e4*far {
+		t.Fatalf("peak %g vs background %g", peak, far)
+	}
+}
+
+func TestPeriodogramWhiteNoiseFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 15
+	sigma := 0.7
+	samples := make([]float64, n)
+	for k := range samples {
+		samples[k] = sigma * rng.NormFloat64()
+	}
+	fs := 1.0
+	freq, psd, err := Periodogram(samples, fs, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = freq
+	// White noise PSD level = sigma² / (fs/2) one-sided = 2·sigma²/fs.
+	want := 2 * sigma * sigma / fs
+	mean := 0.0
+	for _, p := range psd {
+		mean += p
+	}
+	mean /= float64(len(psd))
+	if math.Abs(mean-want) > 0.3*want {
+		t.Fatalf("white PSD mean %g, want ~%g", mean, want)
+	}
+}
+
+func TestPeriodogramValidation(t *testing.T) {
+	if _, _, err := Periodogram([]float64{1, 2}, 1, 4); err == nil {
+		t.Error("too-short input accepted")
+	}
+	if _, _, err := Periodogram(make([]float64, 64), 0, 4); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, _, err := Periodogram(make([]float64, 64), 1, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestAccumulatedJitterWhitePM(t *testing.T) {
+	// Pure white phase noise: J(N) = √2·sigma for all N.
+	rng := rand.New(rand.NewSource(2))
+	sigma := 0.01
+	samples := make([]float64, 1<<15)
+	for k := range samples {
+		samples[k] = sigma * rng.NormFloat64()
+	}
+	j, err := AccumulatedJitter(samples, []int{1, 8, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt2 * sigma
+	for i, v := range j {
+		if math.Abs(v-want) > 0.1*want {
+			t.Fatalf("J[%d] = %g, want ~%g", i, v, want)
+		}
+	}
+}
+
+func TestAccumulatedJitterRandomWalk(t *testing.T) {
+	// Pure random walk: J(N) = sigma·√N.
+	rng := rand.New(rand.NewSource(3))
+	sigma := 0.01
+	samples := make([]float64, 1<<15)
+	acc := 0.0
+	for k := range samples {
+		acc += sigma * rng.NormFloat64()
+		samples[k] = acc
+	}
+	j, err := AccumulatedJitter(samples, []int{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := j[1] / j[0]; math.Abs(r-2) > 0.3 {
+		t.Fatalf("J(4)/J(1) = %g, want ~2", r)
+	}
+	if r := j[2] / j[0]; math.Abs(r-4) > 0.8 {
+		t.Fatalf("J(16)/J(1) = %g, want ~4", r)
+	}
+}
+
+func TestAccumulatedJitterValidation(t *testing.T) {
+	if _, err := AccumulatedJitter([]float64{1}, []int{1}); err == nil {
+		t.Error("too-short input accepted")
+	}
+	if _, err := AccumulatedJitter(make([]float64, 16), []int{0}); err == nil {
+		t.Error("zero lag accepted")
+	}
+	if _, err := AccumulatedJitter(make([]float64, 16), []int{16}); err == nil {
+		t.Error("out-of-span lag accepted")
+	}
+}
+
+// TestPLLJitterAccumulationFlattens: inside a locked PLL, white FM noise
+// accumulates over short spans but the loop bounds it: J(N) must stop
+// growing well before N → ∞.
+func TestPLLJitterAccumulationFlattens(t *testing.T) {
+	p := DefaultParams()
+	p.FMNoise = 150e3
+	p.PMNoise = 0
+	res, err := Simulate(p, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := res.AccumulatedJitter([]int{1, 8, 512, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j[1] <= j[0] {
+		t.Fatalf("short-span jitter does not accumulate: J(1)=%g J(8)=%g", j[0], j[1])
+	}
+	// Plateau: beyond the loop time constant the curve stops growing.
+	if j[3] > 1.5*j[2] {
+		t.Fatalf("long-span jitter keeps growing: J(512)=%g J(2048)=%g", j[2], j[3])
+	}
+}
+
+// TestPLLSpectrumShape: white VCO frequency noise produces 1/f² phase
+// noise; the loop's error transfer high-passes it, leaving a flat plateau
+// below the loop corner and the residual 1/f² roll-off above it. The
+// measured output-jitter PSD must therefore fall from the low bins to the
+// mid/high bins.
+func TestPLLSpectrumShape(t *testing.T) {
+	p := DefaultParams()
+	p.FMNoise = 150e3
+	p.PMNoise = 0
+	res, err := Simulate(p, 120000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, psd, err := res.PhaseNoisePSD(p.RefFreq, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, mid := 0.0, 0.0
+	for i := 0; i < 8; i++ {
+		lo += psd[i]
+	}
+	for i := 24; i < 32; i++ {
+		mid += psd[i]
+	}
+	if lo <= 5*mid {
+		t.Fatalf("expected roll-off above the loop corner: lo %g vs mid %g", lo/8, mid/8)
+	}
+}

@@ -1,0 +1,112 @@
+package spmat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDenseMulVecVecMulAdjoint(t *testing.T) {
+	// <y, D·x> == <Dᵀ·y, x> — check via VecMul: (y·D)·x == y·(D·x).
+	rng := rand.New(rand.NewSource(71))
+	r, c := 5, 7
+	d := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			d.Set(i, j, rng.NormFloat64())
+		}
+	}
+	x := make([]float64, c)
+	y := make([]float64, r)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	dx := make([]float64, r)
+	d.MulVec(dx, x)
+	lhs := 0.0
+	for i := range y {
+		lhs += y[i] * dx[i]
+	}
+	yd := make([]float64, c)
+	d.VecMul(yd, y)
+	rhs := 0.0
+	for j := range x {
+		rhs += yd[j] * x[j]
+	}
+	if math.Abs(lhs-rhs) > 1e-12 {
+		t.Fatalf("adjoint identity broken: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestDenseCloneIndependence(t *testing.T) {
+	d := NewDense(2, 2)
+	d.Set(0, 0, 1)
+	cl := d.Clone()
+	cl.Set(0, 0, 5)
+	if d.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestDenseDimensionPanics(t *testing.T) {
+	d := NewDense(2, 3)
+	for _, f := range []func(){
+		func() { d.MulVec(make([]float64, 2), make([]float64, 2)) },
+		func() { d.VecMul(make([]float64, 3), make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected dimension panic")
+				}
+			}()
+			f()
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected negative-dimension panic")
+		}
+	}()
+	NewDense(-1, 2)
+}
+
+func TestLUSolveDimensionPanic(t *testing.T) {
+	a := NewDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, 1)
+	lu, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on wrong RHS length")
+		}
+	}()
+	lu.Solve(make([]float64, 3))
+}
+
+func TestFactorizeNonSquare(t *testing.T) {
+	if _, err := Factorize(NewDense(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestGTHSingleState(t *testing.T) {
+	p := NewDense(1, 1)
+	p.Set(0, 0, 1)
+	pi, err := StationaryGTH(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pi) != 1 || pi[0] != 1 {
+		t.Fatalf("pi = %v", pi)
+	}
+	if _, err := StationaryGTH(NewDense(0, 0)); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+}

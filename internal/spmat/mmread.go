@@ -1,0 +1,69 @@
+package spmat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadMatrixMarket parses a MatrixMarket coordinate-format stream
+// ("matrix coordinate real general", 1-indexed) back into a CSR matrix —
+// the inverse of WriteMatrixMarket, so assembled TPMs can round-trip
+// through files and external tools.
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	if !sc.Scan() {
+		return nil, fmt.Errorf("spmat: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" ||
+		header[2] != "coordinate" || header[3] != "real" || header[4] != "general" {
+		return nil, fmt.Errorf("spmat: unsupported MatrixMarket header %q", sc.Text())
+	}
+
+	// Skip comment lines, then read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("spmat: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("spmat: bad dimensions %dx%d nnz=%d", rows, cols, nnz)
+	}
+
+	tr := NewTriplet(rows, cols)
+	tr.Reserve(nnz)
+	read := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var i, j int
+		var v float64
+		if _, err := fmt.Sscan(line, &i, &j, &v); err != nil {
+			return nil, fmt.Errorf("spmat: bad entry line %q: %w", line, err)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("spmat: entry (%d,%d) outside %dx%d", i, j, rows, cols)
+		}
+		tr.Add(i-1, j-1, v)
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("spmat: header promised %d entries, found %d", nnz, read)
+	}
+	return tr.ToCSR(), nil
+}

@@ -1,0 +1,69 @@
+package spmat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := NewTriplet(7, 5)
+	for k := 0; k < 20; k++ {
+		tr.Add(rng.Intn(7), rng.Intn(5), rng.NormFloat64())
+	}
+	orig := tr.ToCSR()
+	var buf bytes.Buffer
+	if err := orig.WriteMatrixMarket(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, c := back.Dims()
+	if r != 7 || c != 5 {
+		t.Fatalf("dims %dx%d", r, c)
+	}
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 5; j++ {
+			if orig.At(i, j) != back.At(i, j) {
+				t.Fatalf("(%d,%d): %g vs %g", i, j, orig.At(i, j), back.At(i, j))
+			}
+		}
+	}
+}
+
+func TestReadMatrixMarketComments(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% a comment
+2 2 2
+1 1 0.5
+2 2 1.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 0.5 || m.At(1, 1) != 1.5 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestReadMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate real general\n0 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n", // entry count short
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nx y z\n", // garbage entry
+		"%%MatrixMarket matrix coordinate real general\nnot a size line\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
