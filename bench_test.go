@@ -132,6 +132,40 @@ func BenchmarkSolverComparison(b *testing.B) {
 	})
 }
 
+// BenchmarkStationary is the allocation baseline for the observability
+// layer: the classical stationary solvers on the baseline model with
+// tracing disabled (zero-value markov.Options, nil Tracer). Run with
+// -benchmem; the obs probes must add no allocations on this path, so the
+// allocs/op here should match a build without internal/obs entirely.
+func BenchmarkStationary(b *testing.B) {
+	m := buildOrFatal(b, experiments.BaseSpec())
+	ch, err := m.Chain()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const tol = 1e-8
+	b.Run("power", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := ch.StationaryPower(markov.Options{Tol: tol, MaxIter: 100000, Damping: 0.95})
+			if err != nil || !res.Converged {
+				b.Fatalf("power: %v %v", err, res)
+			}
+			b.ReportMetric(float64(res.Iterations), "sweeps")
+		}
+	})
+	b.Run("gauss-seidel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := ch.StationaryGaussSeidel(markov.Options{Tol: tol, MaxIter: 100000})
+			if err != nil || !res.Converged {
+				b.Fatalf("gs: %v %v", err, res)
+			}
+			b.ReportMetric(float64(res.Iterations), "sweeps")
+		}
+	})
+}
+
 // BenchmarkSolverScaling shows the paper's scaling claim: multigrid cycle
 // counts stay level as the grid refines while classical sweeps grow.
 func BenchmarkSolverScaling(b *testing.B) {

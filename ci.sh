@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — the tier-1+ gate for cdrstoch.
+#
+# Tier 1 (the seed's contract) is `go build ./... && go test ./...`.
+# This script is the stricter gate run before merging: it adds vet, the
+# race detector, and a one-iteration benchmark smoke so the benchmark
+# harness (and the BenchmarkStationary allocation baseline for the obs
+# layer) cannot silently rot. Run it from the repository root:
+#
+#     ./ci.sh
+#
+# It needs only the Go toolchain — no external dependencies.
+set -eu
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (1 iteration per benchmark) =="
+go test -run '^$' -bench 'BenchmarkStationary|BenchmarkFig3MatrixForm' \
+    -benchtime 1x -benchmem .
+
+echo "== ci.sh: all gates passed =="

@@ -20,11 +20,13 @@ import (
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/dist"
 	"cdrstoch/internal/experiments"
+	"cdrstoch/internal/obs"
 )
 
 func main() {
 	fs := flag.NewFlagSet("cdranalyze", flag.ExitOnError)
 	sf := cliutil.Bind(fs)
+	of := cliutil.BindObs(fs)
 	csv := fs.Bool("csv", false, "emit the phase and phase+n_w density series as CSV")
 	dot := fs.Bool("dot", false, "print the FSM network (Figure 2) in Graphviz dot and exit")
 	slip := fs.Bool("slip", false, "report cycle-slip statistics")
@@ -35,14 +37,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	obsrv, err := of.Setup()
+	if err != nil {
+		fatal(err)
+	}
+
 	spec, err := sf.Spec()
 	if err != nil {
 		fatal(err)
 	}
+	buildDone := obsrv.Registry.Timer("build").Time()
+	endBuild := obs.StartSpan(obsrv.Tracer, "cdranalyze.build")
 	model, err := core.Build(spec)
+	endBuild()
+	buildDone()
 	if err != nil {
 		fatal(err)
 	}
+	obsrv.Registry.Gauge("model.states").Set(float64(model.NumStates()))
+	obsrv.Registry.Gauge("model.nnz").Set(float64(model.P.NNZ()))
 	if *describe {
 		fmt.Println(model.Describe())
 	}
@@ -59,14 +72,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(net.DOT())
+		if err := obsrv.Close(os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
 	panel := &experiments.Panel{Model: model}
-	a, err := model.Solve(core.SolveOptions{})
+	opt := core.SolveOptions{}
+	opt.Multigrid.Trace = obsrv.Tracer
+	solveDone := obsrv.Registry.Timer("solve").Time()
+	endSolve := obs.StartSpan(obsrv.Tracer, "cdranalyze.solve")
+	a, err := model.Solve(opt)
+	endSolve()
+	solveDone()
 	if err != nil {
 		fatal(err)
 	}
+	obsrv.Registry.Counter("multigrid.cycles").Add(int64(a.Multigrid.Cycles))
 	panel.Analysis = a
 	if err := panel.Annotate(os.Stdout); err != nil {
 		fatal(err)
@@ -100,6 +123,9 @@ func main() {
 		if err := panel.WriteCSV(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+	if err := obsrv.Close(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

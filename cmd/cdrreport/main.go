@@ -15,13 +15,21 @@ import (
 	"time"
 
 	"cdrstoch/internal/bitsim"
+	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/experiments"
+	"cdrstoch/internal/obs"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the solver-scaling table (the slowest section)")
+	of := cliutil.BindObs(flag.CommandLine)
 	flag.Parse()
+	obsrv, err := of.Setup()
+	if err != nil {
+		check(err)
+	}
+	reg := obsrv.Registry
 	start := time.Now()
 
 	fmt.Println("Stochastic Modeling and Performance Evaluation for Digital CDR Circuits")
@@ -29,24 +37,35 @@ func main() {
 	fmt.Println()
 
 	section("Figure 3 — transition probability matrix structure")
+	buildDone := reg.Timer("section.fig3").Time()
 	m, err := core.Build(experiments.BaseSpec())
+	buildDone()
 	check(err)
 	n := m.NumStates()
+	reg.Gauge("model.states").Set(float64(n))
+	reg.Gauge("model.nnz").Set(float64(m.P.NNZ()))
 	fmt.Printf("TPM: %d states, %d nonzeros (%.3f%% dense), bandwidth %d, formed in %v\n",
 		n, m.P.NNZ(), 100*float64(m.P.NNZ())/float64(n)/float64(n), m.P.Bandwidth(), m.FormTime)
 	fmt.Println("(render with: go run ./cmd/tpmspy -preset base)")
 
 	section("Figure 4 — stationary phase-error analysis, low vs 4x eye jitter")
+	fig4Done := reg.Timer("section.fig4").Time()
 	for _, high := range []bool{false, true} {
+		endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("cdrreport.fig4.high=%v", high))
 		p, err := experiments.RunPanel(experiments.Fig4Spec(high))
+		endSpan()
 		check(err)
+		reg.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
 		check(p.Annotate(os.Stdout))
 		fmt.Printf("  slips: flux %.3e /bit, mean time between %.3e bits\n\n",
 			p.Slip.Flux, p.Slip.MeanTimeBetween)
 	}
+	fig4Done()
 
 	section("Figure 5 — BER vs loop-filter counter length (noise fixed)")
+	fig5Done := reg.Timer("section.fig5").Time()
 	points, best, err := experiments.OptimalCounter(experiments.Fig5Spec, []int{1, 2, 4, 8, 16, 32})
+	fig5Done()
 	check(err)
 	fmt.Printf("%-8s %12s %12s\n", "counter", "BER", "vs best")
 	for _, p := range points {
@@ -56,20 +75,26 @@ func main() {
 
 	if !*quick {
 		section("Numerical Methods — solver comparison under grid refinement")
+		solverDone := reg.Timer("section.solvers").Time()
 		for _, refine := range []int{2, 4} {
 			spec, err := experiments.ScaledSpec(refine)
 			check(err)
 			mm, err := core.Build(spec)
 			check(err)
 			fmt.Printf("grid 1/%d UI (%d states):\n", int(1/spec.GridStep+0.5), mm.NumStates())
-			rows, err := experiments.CompareSolvers(mm, 1e-10, 200000)
+			rows, err := experiments.CompareSolvers(mm, 1e-10, 200000, obsrv.Tracer)
 			check(err)
+			for _, row := range rows {
+				reg.Counter("solver.iterations").Add(int64(row.Iterations))
+			}
 			check(experiments.WriteSolverTable(os.Stdout, rows))
 			fmt.Println()
 		}
+		solverDone()
 	}
 
 	section("Introduction — simulation infeasibility at SONET-class BER")
+	mcDone := reg.Timer("section.montecarlo").Time()
 	p, err := experiments.RunPanel(experiments.Fig4Spec(false))
 	check(err)
 	target := p.Analysis.BER
@@ -82,6 +107,7 @@ func main() {
 	fmt.Printf("resolving it by simulation to ±10%% needs ≈ %.1e bits.\n", bits)
 	mc, err := bitsim.RunParallel(bitsim.Config{
 		Spec: experiments.Fig4Spec(true), Bits: 1000000, Seed: 1,
+		Trace: obsrv.Tracer, Metrics: reg,
 	}, 0)
 	check(err)
 	hp, err := experiments.RunPanel(experiments.Fig4Spec(true))
@@ -92,8 +118,13 @@ func main() {
 	}
 	fmt.Printf("high-noise cross-check: analysis %.3e %s the Monte Carlo 95%% interval [%.3e, %.3e]\n",
 		hp.Analysis.BER, agree, mc.CILow, mc.CIHigh)
+	mcDone()
+
+	section("Metrics — section timings and work counters")
+	check(reg.Snapshot().WriteText(os.Stdout))
 
 	fmt.Printf("\nReport completed in %v.\n", time.Since(start).Round(time.Millisecond))
+	check(obsrv.Close(os.Stdout))
 }
 
 func section(title string) {

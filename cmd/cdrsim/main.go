@@ -15,11 +15,13 @@ import (
 	"cdrstoch/internal/bitsim"
 	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/core"
+	"cdrstoch/internal/obs"
 )
 
 func main() {
 	fs := flag.NewFlagSet("cdrsim", flag.ExitOnError)
 	sf := cliutil.Bind(fs)
+	of := cliutil.BindObs(fs)
 	bits := fs.Int64("bits", 1000000, "bit periods to simulate after warmup")
 	seed := fs.Int64("seed", 1, "random seed")
 	workers := fs.Int("workers", 1, "parallel simulation workers (0 = GOMAXPROCS)")
@@ -38,11 +40,22 @@ func main() {
 		return
 	}
 
+	obsrv, err := of.Setup()
+	if err != nil {
+		fatal(err)
+	}
 	spec, err := sf.Spec()
 	if err != nil {
 		fatal(err)
 	}
-	res, err := bitsim.RunParallel(bitsim.Config{Spec: spec, Bits: *bits, Seed: *seed}, *workers)
+	mcDone := obsrv.Registry.Timer("montecarlo").Time()
+	endMC := obs.StartSpan(obsrv.Tracer, "cdrsim.montecarlo")
+	res, err := bitsim.RunParallel(bitsim.Config{
+		Spec: spec, Bits: *bits, Seed: *seed,
+		Trace: obsrv.Tracer, Metrics: obsrv.Registry,
+	}, *workers)
+	endMC()
+	mcDone()
 	if err != nil {
 		fatal(err)
 	}
@@ -54,10 +67,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		a, err := m.Solve(core.SolveOptions{})
+		opt := core.SolveOptions{}
+		opt.Multigrid.Trace = obsrv.Tracer
+		solveDone := obsrv.Registry.Timer("solve").Time()
+		endSolve := obs.StartSpan(obsrv.Tracer, "cdrsim.solve")
+		a, err := m.Solve(opt)
+		endSolve()
+		solveDone()
 		if err != nil {
 			fatal(err)
 		}
+		obsrv.Registry.Counter("multigrid.cycles").Add(int64(a.Multigrid.Cycles))
 		slip, err := m.SlipStats(a.Pi)
 		if err != nil {
 			fatal(err)
@@ -71,6 +91,9 @@ func main() {
 			fmt.Println("Agreement:   analysis BER outside the Monte Carlo 95% interval",
 				"(expected when the BER is too small for the simulated bit count)")
 		}
+	}
+	if err := obsrv.Close(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

@@ -18,16 +18,22 @@ import (
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/dist"
 	"cdrstoch/internal/experiments"
+	"cdrstoch/internal/obs"
 )
 
 func main() {
 	fs := flag.NewFlagSet("cdrsweep", flag.ExitOnError)
 	sf := cliutil.Bind(fs)
+	of := cliutil.BindObs(fs)
 	sweep := fs.String("sweep", "counter", "sweep kind: counter, noise, solver, grid")
 	values := fs.String("values", "", "comma-separated sweep values (defaults per sweep kind)")
 	tol := fs.Float64("tol", 1e-10, "solver tolerance (solver sweep)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+	obsrv, err := of.Setup()
+	if err != nil {
+		fatal(err)
 	}
 
 	switch *sweep {
@@ -46,10 +52,16 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.counter.%d", l))
+			pointDone := obsrv.Registry.Timer("sweep.point").Time()
 			p, err := experiments.RunPanel(spec)
+			pointDone()
+			endSpan()
 			if err != nil {
 				fatal(fmt.Errorf("counter %d: %w", l, err))
 			}
+			obsrv.Registry.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
+			warnUnconverged(p.Analysis.Multigrid.Converged, fmt.Sprintf("counter %d", l), p.Analysis.Multigrid.Residual)
 			fmt.Printf("%-8d %12.3e %14.3e %10d %8d\n",
 				l, p.Analysis.BER, p.Slip.MeanTimeBetween,
 				p.Model.NumStates(), p.Analysis.Multigrid.Cycles)
@@ -70,10 +82,16 @@ func main() {
 				fatal(err)
 			}
 			spec.EyeJitter = dist.NewGaussian(0, sig)
+			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.noise.%g", sig))
+			pointDone := obsrv.Registry.Timer("sweep.point").Time()
 			p, err := experiments.RunPanel(spec)
+			pointDone()
+			endSpan()
 			if err != nil {
 				fatal(fmt.Errorf("stdnw %g: %w", sig, err))
 			}
+			obsrv.Registry.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
+			warnUnconverged(p.Analysis.Multigrid.Converged, fmt.Sprintf("stdnw %g", sig), p.Analysis.Multigrid.Residual)
 			fmt.Printf("%-8.3f %12.3e %14.3e %8d\n",
 				sig, p.Analysis.BER, p.Slip.MeanTimeBetween, p.Analysis.Multigrid.Cycles)
 		}
@@ -97,12 +115,22 @@ func main() {
 			}
 			fmt.Printf("== grid 1/%d UI: %d states, %d nnz ==\n",
 				int(1/spec.GridStep+0.5), m.NumStates(), m.P.NNZ())
-			rows, err := experiments.CompareSolvers(m, *tol, 200000)
+			sweepDone := obsrv.Registry.Timer("sweep.solver").Time()
+			rows, err := experiments.CompareSolvers(m, *tol, 200000, obsrv.Tracer)
+			sweepDone()
 			if err != nil {
 				fatal(err)
 			}
 			if err := experiments.WriteSolverTable(os.Stdout, rows); err != nil {
 				fatal(err)
+			}
+			for _, row := range rows {
+				obsrv.Registry.Counter("solver.iterations").Add(int64(row.Iterations))
+				if !row.Converged {
+					fmt.Fprintf(os.Stderr,
+						"cdrsweep: warning: %s did not converge at grid 1/%d (final residual %.3e, decay %.4f/iter); tabulated value is the unconverged iterate\n",
+						row.Name, int(1/spec.GridStep+0.5), row.Residual, row.Slope)
+				}
 			}
 		}
 	case "grid":
@@ -130,6 +158,19 @@ func main() {
 		}
 	default:
 		fatal(fmt.Errorf("unknown sweep %q", *sweep))
+	}
+	if err := obsrv.Close(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// warnUnconverged reports an unconverged iterative solve on stderr rather
+// than letting the unconverged value enter the table silently.
+func warnUnconverged(converged bool, point string, residual float64) {
+	if !converged {
+		fmt.Fprintf(os.Stderr,
+			"cdrsweep: warning: solver did not converge at %s (final residual %.3e); tabulated value is the unconverged iterate\n",
+			point, residual)
 	}
 }
 

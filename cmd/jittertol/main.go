@@ -20,11 +20,13 @@ import (
 
 	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/experiments"
+	"cdrstoch/internal/obs"
 )
 
 func main() {
 	fs := flag.NewFlagSet("jittertol", flag.ExitOnError)
 	sf := cliutil.Bind(fs)
+	of := cliutil.BindObs(fs)
 	target := fs.Float64("target", 1e-6, "BER target")
 	slotName := fs.String("slot", "eye", "jitter injection slot: eye (n_w) or drift (n_r)")
 	maxAmp := fs.Float64("maxamp", 0.4, "maximum amplitude searched, UI")
@@ -32,6 +34,11 @@ func main() {
 	counters := fs.String("counters", "", "comma-separated counter lengths to sweep (empty = single run)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
+	}
+
+	obsrv, err := of.Setup()
+	if err != nil {
+		fatal(err)
 	}
 
 	var slot experiments.SJSlot
@@ -71,15 +78,23 @@ func main() {
 				fatal(err)
 			}
 		}
+		endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("jittertol.counter.%d", label))
+		searchDone := obsrv.Registry.Timer("tolerance.search").Time()
 		base, err := experiments.BERWithSJ(spec, 0, slot)
 		if err != nil {
 			fatal(err)
 		}
 		tol, err := experiments.JitterTolerance(spec, *target, slot, *maxAmp, *tolUI)
+		searchDone()
+		endSpan()
 		if err != nil {
 			fatal(err)
 		}
+		obsrv.Registry.Counter("tolerance.searches").Inc()
 		fmt.Printf("%-8d %14.4f %14.3e\n", label, tol, base)
+	}
+	if err := obsrv.Close(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

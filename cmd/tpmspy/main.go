@@ -16,11 +16,13 @@ import (
 
 	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/core"
+	"cdrstoch/internal/obs"
 )
 
 func main() {
 	fs := flag.NewFlagSet("tpmspy", flag.ExitOnError)
 	sf := cliutil.Bind(fs)
+	of := cliutil.BindObs(fs)
 	w := fs.Int("w", 96, "ASCII pattern width in characters")
 	h := fs.Int("h", 48, "ASCII pattern height in characters")
 	pgm := fs.String("pgm", "", "write a 512x512 PGM image of the pattern to this path")
@@ -28,15 +30,25 @@ func main() {
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
+	obsrv, err := of.Setup()
+	if err != nil {
+		fatal(err)
+	}
 	spec, err := sf.Spec()
 	if err != nil {
 		fatal(err)
 	}
+	buildDone := obsrv.Registry.Timer("build").Time()
+	endBuild := obs.StartSpan(obsrv.Tracer, "tpmspy.build")
 	m, err := core.Build(spec)
+	endBuild()
+	buildDone()
 	if err != nil {
 		fatal(err)
 	}
 	n := m.NumStates()
+	obsrv.Registry.Gauge("model.states").Set(float64(n))
+	obsrv.Registry.Gauge("model.nnz").Set(float64(m.P.NNZ()))
 	fmt.Printf("TPM: %d x %d, %d nonzeros (%.4f%% dense), bandwidth %d\n",
 		n, n, m.P.NNZ(), 100*float64(m.P.NNZ())/float64(n)/float64(n), m.P.Bandwidth())
 
@@ -68,6 +80,9 @@ func main() {
 	}
 	if *pgm == "" && *mm == "" {
 		fmt.Print(m.P.Pattern(*w, *h))
+	}
+	if err := obsrv.Close(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

@@ -7,15 +7,19 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"cdrstoch/internal/bitsim"
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/dist"
 	"cdrstoch/internal/experiments"
+	"cdrstoch/internal/obs"
 )
 
 func main() {
+	reg := obs.NewRegistry()
+
 	// Part 1: a deliberately noisy model whose BER (~1e-2) a short Monte
 	// Carlo run can resolve. Both routes must agree.
 	h := 1.0 / 16
@@ -38,8 +42,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg.Gauge("model.states").Set(float64(model.NumStates()))
 	t0 := time.Now()
+	solveDone := reg.Timer("analysis.solve").Time()
 	pi, err := model.SolveDirect()
+	solveDone()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +54,9 @@ func main() {
 	tAnalysis := time.Since(t0)
 
 	t0 = time.Now()
-	mc, err := bitsim.Run(bitsim.Config{Spec: noisy, Bits: 2000000, Seed: 1})
+	mcDone := reg.Timer("montecarlo").Time()
+	mc, err := bitsim.Run(bitsim.Config{Spec: noisy, Bits: 2000000, Seed: 1, Metrics: reg})
+	mcDone()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,10 +70,13 @@ func main() {
 
 	// Part 2: the low-BER regime. The analysis solves it directly; the
 	// simulation budget is astronomical.
+	panelDone := reg.Timer("analysis.panel").Time()
 	panel, err := experiments.RunPanel(experiments.Fig4Spec(false))
+	panelDone()
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg.Counter("multigrid.cycles").Add(int64(panel.Analysis.Multigrid.Cycles))
 	fmt.Println("Low-noise regime (paper Figure 4, top panel):")
 	fmt.Printf("  analysis BER = %.3e in %v (%d states)\n",
 		panel.Analysis.BER, panel.Analysis.SolveTime, panel.Model.NumStates())
@@ -82,4 +94,12 @@ func main() {
 	fmt.Printf("  at the measured %.1e s/bit that is ≈ %.1e years of simulation\n", perBit, years)
 	fmt.Println("\nPaper, §Introduction: such specifications \"are practically impossible")
 	fmt.Println("to verify through straightforward simulation\".")
+
+	// The same comparison, as recorded work counters: multigrid cycles and
+	// solve time on the analysis side against simulated bits and wall time
+	// on the Monte Carlo side.
+	fmt.Println("\nMetrics snapshot:")
+	if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
 }

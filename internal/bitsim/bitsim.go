@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/dist"
+	"cdrstoch/internal/obs"
 )
 
 // Config parameterizes a Monte Carlo run.
@@ -36,6 +38,22 @@ type Config struct {
 	// derived from Spec.EyeJitter (Gaussian and uniform laws are
 	// recognized; other laws must supply a sampler).
 	SampleEye func(*rand.Rand) float64
+	// Trace receives "progress" events (one roughly every 2^17 simulated
+	// bit periods, plus one at completion) carrying WorkerID, the bits
+	// simulated so far and the total. Nil disables tracing at zero cost.
+	Trace obs.Tracer
+	// Metrics, when non-nil, accumulates the counters "bitsim.bits",
+	// "bitsim.errors" and "bitsim.slips" and sets the gauge
+	// "bitsim.bits_per_sec" from the run's wall-clock rate.
+	Metrics *obs.Registry
+	// WorkerID labels progress events; RunParallel sets it to the chunk
+	// index. Leave 0 for serial runs.
+	WorkerID int
+	// ChunkBits is RunParallel's work-decomposition granularity (bits per
+	// chunk; default 262144). The chunk layout — not the worker count —
+	// determines every random stream, so merged estimates depend only on
+	// (Seed, Bits, ChunkBits). Override only to tune scheduling.
+	ChunkBits int64
 }
 
 // Result reports a Monte Carlo run.
@@ -151,8 +169,17 @@ func Run(cfg Config) (*Result, error) {
 	inSlip := slipNow(mi)
 	var outsideBits int64
 
+	// Progress cadence: cheap power-of-two stride so the check is a mask.
+	const progressStride = 1 << 17
+	start := time.Now()
+	endSpan := obs.StartSpan(cfg.Trace, "bitsim.run")
+	defer endSpan()
+
 	total := warm + cfg.Bits
 	for k := int64(0); k < total; k++ {
+		if cfg.Trace != nil && (k+1)&(progressStride-1) == 0 {
+			obs.ProgressEvent(cfg.Trace, "bitsim", cfg.WorkerID, k+1, total)
+		}
 		measuring := k >= warm
 		phi := m.PhaseValue(mi)
 		nw := sampleEye(rng)
@@ -225,6 +252,15 @@ func Run(cfg Config) (*Result, error) {
 		res.MeanTimeBetweenSlips = float64(outsideBits) / float64(res.SlipEntries)
 	} else {
 		res.MeanTimeBetweenSlips = math.Inf(1)
+	}
+	obs.ProgressEvent(cfg.Trace, "bitsim", cfg.WorkerID, total, total)
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("bitsim.bits").Add(res.Bits)
+		cfg.Metrics.Counter("bitsim.errors").Add(res.Errors)
+		cfg.Metrics.Counter("bitsim.slips").Add(res.SlipEntries)
+		if dt := time.Since(start).Seconds(); dt > 0 {
+			cfg.Metrics.Gauge("bitsim.bits_per_sec").Set(float64(total) / dt)
+		}
 	}
 	return res, nil
 }

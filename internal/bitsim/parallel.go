@@ -6,12 +6,43 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
-// RunParallel splits a Monte Carlo run across workers goroutines (one
-// independent random stream each, derived deterministically from the
-// seed) and merges the counts. The merged estimate is deterministic for a
-// fixed (seed, workers) pair. workers ≤ 0 selects GOMAXPROCS.
+// defaultChunkBits is the work-decomposition granularity of RunParallel:
+// each chunk simulates this many bit periods (the last one takes the
+// remainder). Chunks, not workers, own the random streams, so the merged
+// estimate is identical for every worker count.
+const defaultChunkBits = 1 << 18
+
+// subSeed derives the random seed of chunk c from the top-level seed.
+//
+// Derivation: the chunk index (offset by one so chunk 0 does not collapse
+// to a plain finalization of the seed) is advanced along the splitmix64
+// increment sequence, seed + (c+1)·0x9E3779B97F4A7C15, and passed through
+// the full splitmix64 finalizer (Steele, Lea & Flood 2014). Distinctness:
+// the finalizer is a bijection on 64-bit integers and the pre-images
+// seed + (c+1)·golden are pairwise distinct for c < 2^64/golden, so two
+// chunks of one run can never share a stream; determinism: the value
+// depends only on (seed, c), never on scheduling or worker count.
+func subSeed(seed int64, c int64) int64 {
+	z := uint64(seed) + (uint64(c)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// RunParallel splits a Monte Carlo run into fixed-size chunks (one
+// independent random stream each, derived deterministically from the seed
+// by subSeed), simulates them on `workers` goroutines, and merges the
+// counts in chunk order. Because streams are owned by chunks rather than
+// workers, the merged estimate is deterministic in (Seed, Bits,
+// ChunkBits) and identical for every worker count. workers ≤ 0 selects
+// GOMAXPROCS.
 //
 // Even embarrassingly parallel simulation does not rescue the low-BER
 // regime — 1e14 bits at ~1e8 bits/s/core is still days across a large
@@ -24,36 +55,44 @@ func RunParallel(cfg Config, workers int) (*Result, error) {
 	if cfg.Bits <= 0 {
 		return nil, errors.New("bitsim: Bits must be positive")
 	}
-	if int64(workers) > cfg.Bits {
-		workers = int(cfg.Bits)
+	chunk := cfg.ChunkBits
+	if chunk <= 0 {
+		chunk = defaultChunkBits
 	}
-	if workers == 1 {
-		return Run(cfg)
+	numChunks := (cfg.Bits + chunk - 1) / chunk
+	if int64(workers) > numChunks {
+		workers = int(numChunks)
 	}
 
-	per := cfg.Bits / int64(workers)
-	results := make([]*Result, workers)
-	errs := make([]error, workers)
+	start := time.Now()
+	results := make([]*Result, numChunks)
+	errs := make([]error, numChunks)
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			sub := cfg
-			sub.Bits = per
-			if w == workers-1 {
-				sub.Bits = cfg.Bits - per*int64(workers-1)
+			for {
+				c := next.Add(1) - 1
+				if c >= numChunks {
+					return
+				}
+				sub := cfg
+				sub.Bits = chunk
+				if c == numChunks-1 {
+					sub.Bits = cfg.Bits - chunk*(numChunks-1)
+				}
+				sub.Seed = subSeed(cfg.Seed, c)
+				sub.WorkerID = int(c)
+				results[c], errs[c] = Run(sub)
 			}
-			// Distinct, deterministic stream per worker: splitmix-style
-			// decorrelation of the base seed.
-			sub.Seed = cfg.Seed + int64(w+1)*int64(0x9E3779B97F4A7C15&0x7FFFFFFFFFFFFFFF)
-			results[w], errs[w] = Run(sub)
-		}(w)
+		}()
 	}
 	wg.Wait()
-	for w, err := range errs {
+	for c, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("bitsim: worker %d: %w", w, err)
+			return nil, fmt.Errorf("bitsim: chunk %d: %w", c, err)
 		}
 	}
 
@@ -73,8 +112,8 @@ func RunParallel(cfg Config, workers int) (*Result, error) {
 		if !math.IsInf(r.MeanTimeBetweenSlips, 1) {
 			outsideBits += r.MeanTimeBetweenSlips * float64(r.SlipEntries)
 		} else {
-			// No slips in this shard: approximate its outside time by its
-			// full span (exact when the shard never entered the slip set).
+			// No slips in this chunk: approximate its outside time by its
+			// full span (exact when the chunk never entered the slip set).
 			outsideBits += float64(r.Bits)
 		}
 	}
@@ -88,6 +127,13 @@ func RunParallel(cfg Config, workers int) (*Result, error) {
 		merged.MeanTimeBetweenSlips = outsideBits / float64(merged.SlipEntries)
 	} else {
 		merged.MeanTimeBetweenSlips = math.Inf(1)
+	}
+	// The per-chunk gauge writes race each other; overwrite with the
+	// aggregate wall-clock rate of the whole parallel run.
+	if cfg.Metrics != nil {
+		if dt := time.Since(start).Seconds(); dt > 0 {
+			cfg.Metrics.Gauge("bitsim.bits_per_sec").Set(float64(merged.Bits) / dt)
+		}
 	}
 	return merged, nil
 }

@@ -46,18 +46,43 @@ func TestRunParallelDeterministic(t *testing.T) {
 	}
 }
 
-func TestRunParallelSingleWorkerEqualsSerial(t *testing.T) {
-	cfg := Config{Spec: noisySpec(t), Bits: 100000, Seed: 2}
-	serial, err := Run(cfg)
+// TestRunParallelWorkerCountInvariant pins the chunked decomposition
+// contract: random streams belong to chunks, not workers, so the merged
+// counts for one seed are identical whatever the parallelism.
+func TestRunParallelWorkerCountInvariant(t *testing.T) {
+	// Three chunks at the default granularity, so worker counts 1, 2 and
+	// 5 (capped to 3) all schedule the chunks differently.
+	cfg := Config{Spec: noisySpec(t), Bits: 700000, Seed: 2}
+	ref, err := RunParallel(cfg, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := RunParallel(cfg, 1)
-	if err != nil {
-		t.Fatal(err)
+	for _, workers := range []int{2, 3, 5} {
+		r, err := RunParallel(cfg, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Bits != ref.Bits || r.Errors != ref.Errors || r.SlipEntries != ref.SlipEntries {
+			t.Fatalf("workers=%d: bits/errors/slips = %d/%d/%d, want %d/%d/%d",
+				workers, r.Bits, r.Errors, r.SlipEntries, ref.Bits, ref.Errors, ref.SlipEntries)
+		}
 	}
-	if serial.Errors != par.Errors || serial.SlipEntries != par.SlipEntries {
-		t.Fatal("workers=1 diverges from serial Run")
+}
+
+func TestSubSeedDistinctAndDeterministic(t *testing.T) {
+	seen := map[int64]int64{}
+	for c := int64(0); c < 10000; c++ {
+		s := subSeed(42, c)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("chunks %d and %d share seed %d", prev, c, s)
+		}
+		seen[s] = c
+		if s != subSeed(42, c) {
+			t.Fatal("subSeed not deterministic")
+		}
+	}
+	if subSeed(1, 0) == subSeed(2, 0) {
+		t.Error("different top-level seeds collide at chunk 0")
 	}
 }
 

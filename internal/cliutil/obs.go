@@ -1,0 +1,93 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
+	"os"
+
+	"cdrstoch/internal/obs"
+)
+
+// ObsFlags holds the shared observability flag values every command in
+// cmd/ exposes: -trace (JSON-lines event sink), -metrics (snapshot table
+// on exit) and -pprof (live profiling server).
+type ObsFlags struct {
+	Trace   *string
+	Metrics *bool
+	Pprof   *string
+}
+
+// BindObs registers the observability flags on the given FlagSet.
+func BindObs(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		Trace: fs.String("trace", "",
+			`write JSON-lines observability events (spans, per-iteration residuals, progress) to this file ("-" = stderr)`),
+		Metrics: fs.Bool("metrics", false,
+			"print the metrics snapshot table on exit"),
+		Pprof: fs.String("pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060)"),
+	}
+}
+
+// Obs bundles the configured observability sinks of one command run.
+// Tracer is nil when -trace is unset, so passing it straight into solver
+// options preserves the zero-cost disabled path.
+type Obs struct {
+	Registry *obs.Registry
+	Tracer   obs.Tracer
+	file     *os.File
+	metrics  bool
+}
+
+// Setup opens the trace sink and starts the pprof server as requested by
+// the parsed flags. Call Close when the command finishes.
+func (f *ObsFlags) Setup() (*Obs, error) {
+	o := &Obs{Registry: obs.NewRegistry(), metrics: *f.Metrics}
+	switch *f.Trace {
+	case "":
+	case "-":
+		o.Tracer = obs.NewJSONL(os.Stderr)
+	default:
+		file, err := os.Create(*f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("open trace sink: %w", err)
+		}
+		o.file = file
+		o.Tracer = obs.NewJSONL(file)
+	}
+	if *f.Pprof != "" {
+		addr := *f.Pprof
+		go func() {
+			if err := http.ListenAndServe(addr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof:", err)
+			}
+		}()
+	}
+	return o, nil
+}
+
+// Close flushes and closes the trace sink and, when -metrics was given,
+// writes the snapshot table to w.
+func (o *Obs) Close(w io.Writer) error {
+	var err error
+	if j, ok := o.Tracer.(*obs.JSONL); ok {
+		err = j.Err()
+	}
+	if o.file != nil {
+		if e := o.file.Close(); e != nil && err == nil {
+			err = e
+		}
+	}
+	if o.metrics {
+		if _, e := fmt.Fprintln(w); e != nil && err == nil {
+			err = e
+		}
+		if e := o.Registry.Snapshot().WriteText(w); e != nil && err == nil {
+			err = e
+		}
+	}
+	return err
+}

@@ -1,0 +1,87 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdrstoch/internal/obs"
+)
+
+func parseObs(t *testing.T, args ...string) *ObsFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	of := BindObs(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return of
+}
+
+func TestObsDefaultsAreDisabled(t *testing.T) {
+	of := parseObs(t)
+	o, err := of.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer != nil {
+		t.Error("tracer enabled without -trace")
+	}
+	if o.Registry == nil {
+		t.Error("registry missing")
+	}
+	var buf bytes.Buffer
+	if err := o.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("metrics printed without -metrics: %q", buf.String())
+	}
+}
+
+func TestObsTraceSinkWritesJSONLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	of := parseObs(t, "-trace", path, "-metrics")
+	o, err := of.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := obs.StartSpan(o.Tracer, "test.op")
+	obs.IterEvent(o.Tracer, "power", 1, 0.5)
+	done()
+	o.Registry.Counter("solver.iterations").Add(3)
+
+	var buf bytes.Buffer
+	if err := o.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "solver.iterations") {
+		t.Errorf("-metrics table missing counter:\n%s", buf.String())
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("trace has %d events, want 3", len(events))
+	}
+	if events[0].Kind != "span_start" || events[1].Kind != "iter" || events[2].Kind != "span_end" {
+		t.Errorf("event kinds = %s/%s/%s", events[0].Kind, events[1].Kind, events[2].Kind)
+	}
+}
+
+func TestObsTraceSinkOpenFailure(t *testing.T) {
+	of := parseObs(t, "-trace", filepath.Join(t.TempDir(), "missing", "trace.jsonl"))
+	if _, err := of.Setup(); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"cdrstoch/internal/dist"
 	"cdrstoch/internal/markov"
 	"cdrstoch/internal/multigrid"
+	"cdrstoch/internal/obs"
 	"cdrstoch/internal/passage"
 )
 
@@ -175,51 +176,65 @@ type SolverRow struct {
 	Residual         float64
 	Converged        bool
 	Elapsed          time.Duration
+	// Slope is the least-squares residual-decay rate fitted over the
+	// solver's traced per-iteration residuals, in log10 decades per
+	// iteration (negative when converging; NaN when under two points).
+	Slope float64
+	// SlopePoints is the number of trace points the fit used.
+	SlopePoints int
 }
 
 // CompareSolvers runs the classical iterations and the multilevel solver
 // on one model at the given tolerance and returns the comparison table —
-// the quantitative form of the paper's Numerical Methods section.
-func CompareSolvers(m *core.Model, tol float64, maxSweeps int) ([]SolverRow, error) {
+// the quantitative form of the paper's Numerical Methods section. Each
+// solver runs under its own residual-trajectory collector (forwarded to
+// trace when non-nil), from which the per-solver decay slope is fitted.
+func CompareSolvers(m *core.Model, tol float64, maxSweeps int, trace obs.Tracer) ([]SolverRow, error) {
 	ch, err := m.Chain()
 	if err != nil {
 		return nil, err
 	}
 	var rows []SolverRow
-	add := func(name string, iters, sweepEq int, resid float64, conv bool, dt time.Duration) {
+	add := func(name string, iters, sweepEq int, resid float64, conv bool, dt time.Duration, col *obs.Collector, event string) {
+		slope, points := obs.DecaySlope(col.Events(), event)
 		rows = append(rows, SolverRow{
 			Name: name, Iterations: iters, SweepEquivalents: sweepEq,
 			Residual: resid, Converged: conv, Elapsed: dt,
+			Slope: slope, SlopePoints: points,
 		})
 	}
 
+	col := obs.NewCollector(trace)
 	start := time.Now()
-	pw, err := ch.StationaryPower(markov.Options{Tol: tol, MaxIter: maxSweeps, Damping: 0.95})
+	pw, err := ch.StationaryPower(markov.Options{Tol: tol, MaxIter: maxSweeps, Damping: 0.95, Trace: col})
 	if err != nil {
 		return nil, err
 	}
-	add("power(0.95)", pw.Iterations, pw.Iterations, pw.Residual, pw.Converged, time.Since(start))
+	add("power(0.95)", pw.Iterations, pw.Iterations, pw.Residual, pw.Converged, time.Since(start), col, "power")
 
+	col = obs.NewCollector(trace)
 	start = time.Now()
-	ja, err := ch.StationaryJacobi(markov.Options{Tol: tol, MaxIter: maxSweeps, Damping: 0.8})
+	ja, err := ch.StationaryJacobi(markov.Options{Tol: tol, MaxIter: maxSweeps, Damping: 0.8, Trace: col})
 	if err != nil {
 		return nil, err
 	}
-	add("jacobi(0.8)", ja.Iterations, ja.Iterations, ja.Residual, ja.Converged, time.Since(start))
+	add("jacobi(0.8)", ja.Iterations, ja.Iterations, ja.Residual, ja.Converged, time.Since(start), col, "jacobi")
 
+	col = obs.NewCollector(trace)
 	start = time.Now()
-	gs, err := ch.StationaryGaussSeidel(markov.Options{Tol: tol, MaxIter: maxSweeps})
+	gs, err := ch.StationaryGaussSeidel(markov.Options{Tol: tol, MaxIter: maxSweeps, Trace: col})
 	if err != nil {
 		return nil, err
 	}
-	add("gauss-seidel", gs.Iterations, gs.Iterations, gs.Residual, gs.Converged, time.Since(start))
+	add("gauss-seidel", gs.Iterations, gs.Iterations, gs.Residual, gs.Converged, time.Since(start), col, "gauss-seidel")
 
+	col = obs.NewCollector(trace)
 	start = time.Now()
-	gm, err := ch.StationaryGMRES(markov.GMRESOptions{Tol: tol, Restart: 30, MaxIter: maxSweeps})
+	gm, err := ch.StationaryGMRES(markov.GMRESOptions{Tol: tol, Restart: 30, MaxIter: maxSweeps, Trace: col})
 	if err != nil {
 		return nil, err
 	}
-	add("gmres(30)", gm.Iterations, gm.Iterations, gm.Residual, gm.Converged, time.Since(start))
+	add("gmres(30)", gm.Iterations, gm.Iterations, gm.Residual, gm.Converged, time.Since(start), col, "gmres")
 
 	for _, mg := range []struct {
 		name string
@@ -232,6 +247,8 @@ func CompareSolvers(m *core.Model, tol float64, maxSweeps int) ([]SolverRow, err
 		if err != nil {
 			return nil, err
 		}
+		col = obs.NewCollector(trace)
+		mg.cfg.Trace = col
 		solver, err := multigrid.New(m.P, parts, mg.cfg)
 		if err != nil {
 			return nil, err
@@ -246,20 +263,23 @@ func CompareSolvers(m *core.Model, tol float64, maxSweeps int) ([]SolverRow, err
 		if mg.cfg.Cycle == multigrid.WCycle {
 			perCycle = 8 * levels
 		}
-		add(mg.name, res.Cycles, res.Cycles*perCycle, res.Residual, res.Converged, time.Since(start))
+		add(mg.name, res.Cycles, res.Cycles*perCycle, res.Residual, res.Converged, time.Since(start), col, "multigrid")
 	}
 	return rows, nil
 }
 
 // WriteSolverTable renders the comparison rows as an aligned text table.
+// The decay column is the traced residual-decay slope in log10 decades
+// per iteration (more negative = faster convergence).
 func WriteSolverTable(w io.Writer, rows []SolverRow) error {
-	if _, err := fmt.Fprintf(w, "%-14s %10s %12s %12s %10s %10s\n",
-		"solver", "iters", "sweep-equiv", "residual", "converged", "seconds"); err != nil {
+	if _, err := fmt.Fprintf(w, "%-14s %10s %12s %12s %10s %10s %12s\n",
+		"solver", "iters", "sweep-equiv", "residual", "converged", "seconds", "decay/iter"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "%-14s %10d %12d %12.3e %10v %10.3f\n",
-			r.Name, r.Iterations, r.SweepEquivalents, r.Residual, r.Converged, r.Elapsed.Seconds()); err != nil {
+		if _, err := fmt.Fprintf(w, "%-14s %10d %12d %12.3e %10v %10.3f %12.4f\n",
+			r.Name, r.Iterations, r.SweepEquivalents, r.Residual, r.Converged,
+			r.Elapsed.Seconds(), r.Slope); err != nil {
 			return err
 		}
 	}

@@ -153,7 +153,7 @@ func TestCompareSolvers(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rows, err := CompareSolvers(m, 1e-10, 50000)
+		rows, err := CompareSolvers(m, 1e-10, 50000, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,6 +164,10 @@ func TestCompareSolvers(t *testing.T) {
 		for _, r := range rows {
 			if !r.Converged {
 				t.Fatalf("refine %d: %s did not converge: %+v", refine, r.Name, r)
+			}
+			if r.SlopePoints < 2 || !(r.Slope < 0) {
+				t.Errorf("refine %d: %s decay slope %g over %d points, want negative fit",
+					refine, r.Name, r.Slope, r.SlopePoints)
 			}
 			byName[r.Name] = r
 		}

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"cdrstoch/internal/obs"
 )
 
 // Krylov-subspace stationary solver. The paper lists Krylov methods among
@@ -25,6 +27,10 @@ type GMRESOptions struct {
 	MaxIter int
 	// X0 is the initial distribution; uniform when nil.
 	X0 []float64
+	// Trace receives a span around the solve and one "iter" event per
+	// restart cycle (Iter = cumulative matrix–vector products) with the
+	// stationarity defect of the normalized iterate. Nil disables tracing.
+	Trace obs.Tracer
 }
 
 func (o GMRESOptions) withDefaults() GMRESOptions {
@@ -95,6 +101,8 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 	res := Result{}
 
 	matvecs := 0
+	endSpan := obs.StartSpan(opt.Trace, "gmres")
+	defer endSpan()
 	for matvecs < opt.MaxIter {
 		// r = b − A·x
 		apply(w, x)
@@ -121,6 +129,7 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 			res.Iterations = matvecs
 			res.Residual = c.Residual(x)
 			res.Converged = res.Residual <= opt.Tol
+			obs.IterEvent(opt.Trace, "gmres", matvecs, res.Residual)
 			res.Pi = x
 			return res, nil
 		}
@@ -215,6 +224,7 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 		}
 		res.Iterations = matvecs
 		res.Residual = c.Residual(xn)
+		obs.IterEvent(opt.Trace, "gmres", matvecs, res.Residual)
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			// Clip the tiny negative entries GMRES can leave in deep

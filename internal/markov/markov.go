@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdrstoch/internal/obs"
 	"cdrstoch/internal/spmat"
 )
 
@@ -111,6 +112,10 @@ type Options struct {
 	Damping float64
 	// Omega is the SOR relaxation factor; 1 (Gauss–Seidel) by default.
 	Omega float64
+	// Trace receives a span around the solve and one "iter" event per
+	// sweep with the running residual. The nil default keeps the
+	// iteration loop free of observability overhead.
+	Trace obs.Tracer
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -171,6 +176,8 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 	}
 	y := make([]float64, len(x))
 	res := Result{}
+	endSpan := obs.StartSpan(opt.Trace, "power")
+	defer endSpan()
 	for it := 1; it <= opt.MaxIter; it++ {
 		c.p.VecMul(y, x)
 		r := 0.0
@@ -184,6 +191,7 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 		}
 		res.Iterations = it
 		res.Residual = r
+		obs.IterEvent(opt.Trace, "power", it, r)
 		if r <= opt.Tol {
 			res.Converged = true
 			break
@@ -214,6 +222,8 @@ func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 	y := make([]float64, len(x))
 	res := Result{}
 	a := opt.Damping
+	endSpan := obs.StartSpan(opt.Trace, "jacobi")
+	defer endSpan()
 	for it := 1; it <= opt.MaxIter; it++ {
 		n := c.N()
 		for i := 0; i < n; i++ {
@@ -232,6 +242,7 @@ func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 		}
 		res.Iterations = it
 		res.Residual = c.Residual(x)
+		obs.IterEvent(opt.Trace, "jacobi", it, res.Residual)
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			break
@@ -260,6 +271,8 @@ func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
 	res := Result{}
 	omega := opt.Omega
 	n := c.N()
+	endSpan := obs.StartSpan(opt.Trace, "gauss-seidel")
+	defer endSpan()
 	for it := 1; it <= opt.MaxIter; it++ {
 		for i := 0; i < n; i++ {
 			cols, vals := pt.Row(i)
@@ -277,6 +290,7 @@ func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
 		}
 		res.Iterations = it
 		res.Residual = c.Residual(x)
+		obs.IterEvent(opt.Trace, "gauss-seidel", it, res.Residual)
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			break

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"cdrstoch/internal/lump"
+	"cdrstoch/internal/obs"
 	"cdrstoch/internal/spmat"
 )
 
@@ -56,6 +57,11 @@ type Config struct {
 	// coarsest solve fails (e.g. the weighted coarse chain is reducible).
 	// Default 500.
 	CoarsestMaxIter int
+	// Trace receives a span around the solve, one "iter" event per cycle
+	// with the fine-level residual, and one "level" event per level visit
+	// (smoothing or coarsest solve) within each cycle. Nil disables
+	// tracing at zero cost.
+	Trace obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -103,10 +109,11 @@ func (r Result) String() string {
 
 // Solver is a configured multilevel hierarchy for one transition matrix.
 type Solver struct {
-	p     *spmat.CSR
-	pt    *spmat.CSR // cached transpose of the finest-level matrix
-	parts []*lump.Partition
-	cfg   Config
+	p        *spmat.CSR
+	pt       *spmat.CSR // cached transpose of the finest-level matrix
+	parts    []*lump.Partition
+	cfg      Config
+	curCycle int // cycle number stamped on level-visit trace events
 }
 
 // New validates the partition chain against the matrix and returns a
@@ -203,6 +210,7 @@ func (s *Solver) coarsestSolve(p *spmat.CSR, x []float64) []float64 {
 // cycle runs one multilevel cycle at the given level and returns the
 // improved iterate.
 func (s *Solver) cycle(level int, p *spmat.CSR, x []float64) ([]float64, error) {
+	obs.LevelEvent(s.cfg.Trace, "multigrid", s.curCycle, level, dimOf(p))
 	if level == len(s.parts) {
 		return s.coarsestSolve(p, x), nil
 	}
@@ -266,7 +274,10 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 	res := Result{LevelSizes: s.LevelSizes()}
 	y := make([]float64, n)
 	var err error
+	endSpan := obs.StartSpan(s.cfg.Trace, "multigrid")
+	defer endSpan()
 	for c := 1; c <= s.cfg.MaxCycles; c++ {
+		s.curCycle = c
 		x, err = s.cycle(0, s.p, x)
 		if err != nil {
 			return Result{}, err
@@ -279,6 +290,7 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 		res.Cycles = c
 		res.Residual = r
 		res.ResidualHistory = append(res.ResidualHistory, r)
+		obs.IterEvent(s.cfg.Trace, "multigrid", c, r)
 		if r <= s.cfg.Tol {
 			res.Converged = true
 			break

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	const perG = 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				reg.Counter("bits").Add(2)
+				reg.Gauge("rate").Set(float64(g))
+				reg.Timer("step").Observe(time.Microsecond)
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := reg.Snapshot()
+	if got := s.Counters["bits"]; got != 2*goroutines*perG {
+		t.Errorf("counter = %d, want %d", got, 2*goroutines*perG)
+	}
+	if s.Timers["step"].Count != goroutines*perG {
+		t.Errorf("timer count = %d", s.Timers["step"].Count)
+	}
+	if s.Timers["step"].Min != time.Microsecond || s.Timers["step"].Max != time.Microsecond {
+		t.Errorf("timer min/max = %v/%v", s.Timers["step"].Min, s.Timers["step"].Max)
+	}
+	if r := s.Gauges["rate"]; r < 0 || r >= goroutines {
+		t.Errorf("gauge = %g", r)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoops(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(3)
+	reg.Timer("z").Observe(time.Second)
+	if v := reg.Counter("x").Value(); v != 0 {
+		t.Errorf("nil counter value = %d", v)
+	}
+	s := reg.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Timers) != 0 {
+		t.Errorf("nil snapshot not empty: %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisabledPathAllocations pins the zero-cost-when-disabled contract:
+// the per-iteration emit helpers must not allocate (nor call time.Now)
+// when the tracer is nil, and nil-registry metric updates must not
+// allocate either.
+func TestDisabledPathAllocations(t *testing.T) {
+	var tr Tracer // nil: the disabled default in every option struct
+	if n := testing.AllocsPerRun(1000, func() {
+		IterEvent(tr, "power", 7, 1e-9)
+		LevelEvent(tr, "multigrid", 1, 2, 64)
+		ProgressEvent(tr, "bitsim", 0, 100, 1000)
+	}); n != 0 {
+		t.Errorf("nil-tracer emit helpers allocate %.1f/op", n)
+	}
+	var reg *Registry
+	if n := testing.AllocsPerRun(1000, func() {
+		reg.Counter("bits").Add(1)
+		reg.Gauge("rate").Set(1)
+	}); n != 0 {
+		t.Errorf("nil-registry updates allocate %.1f/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		done := StartSpan(tr, "solve")
+		done()
+	}); n != 0 {
+		t.Errorf("nil-tracer StartSpan allocates %.1f/op", n)
+	}
+}
+
+func TestDiscardTracerDropsEvents(t *testing.T) {
+	// Must simply not panic and accept anything.
+	Discard.Emit(Event{Kind: "iter", Name: "x", Iter: 1, Residual: 0.5})
+	done := StartSpan(Discard, "span")
+	done()
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	done := StartSpan(sink, "solve")
+	IterEvent(sink, "power", 1, 0.25)
+	IterEvent(sink, "power", 2, 0.0625)
+	LevelEvent(sink, "multigrid", 3, 1, 128)
+	ProgressEvent(sink, "bitsim", 2, 500, 1000)
+	done()
+	if err := sink.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("round-tripped %d events, want 6", len(events))
+	}
+	if events[0].Kind != "span_start" || events[0].Name != "solve" {
+		t.Errorf("first event = %+v", events[0])
+	}
+	if e := events[1]; e.Kind != "iter" || e.Name != "power" || e.Iter != 1 || e.Residual != 0.25 {
+		t.Errorf("iter event = %+v", e)
+	}
+	if e := events[3]; e.Kind != "level" || e.Level != 1 || e.Size != 128 || e.Iter != 3 {
+		t.Errorf("level event = %+v", e)
+	}
+	if e := events[4]; e.Kind != "progress" || e.Worker != 2 || e.Done != 500 || e.Total != 1000 {
+		t.Errorf("progress event = %+v", e)
+	}
+	last := events[5]
+	if last.Kind != "span_end" || last.DurNS < 0 || last.T < events[0].T {
+		t.Errorf("span_end event = %+v", last)
+	}
+}
+
+func TestCollectorAndDecaySlope(t *testing.T) {
+	var buf bytes.Buffer
+	col := NewCollector(NewJSONL(&buf))
+	// Exact decade-per-iteration decay: slope must be -1.
+	for i := 1; i <= 5; i++ {
+		IterEvent(col, "gs", i, math.Pow(10, -float64(i)))
+	}
+	IterEvent(col, "other", 1, 0.5) // different name: excluded from the fit
+	slope, n := DecaySlope(col.Events(), "gs")
+	if n != 5 {
+		t.Fatalf("fit used %d points, want 5", n)
+	}
+	if math.Abs(slope+1) > 1e-12 {
+		t.Errorf("slope = %g, want -1", slope)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 6 {
+		t.Errorf("forwarded %d lines, want 6", got)
+	}
+	if _, n := DecaySlope(col.Events(), "missing"); n != 0 {
+		t.Errorf("missing solver matched %d points", n)
+	}
+	col.Reset()
+	if len(col.Events()) != 0 {
+		t.Error("reset did not clear events")
+	}
+}
+
+func TestSnapshotWriters(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("solver.iterations").Add(42)
+	reg.Gauge("bitsim.bits_per_sec").Set(1.5e8)
+	reg.Timer("solve").Observe(3 * time.Millisecond)
+	s := reg.Snapshot()
+
+	var text bytes.Buffer
+	if err := s.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"solver.iterations", "42", "bitsim.bits_per_sec", "count=1"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text snapshot missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := s.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"solver.iterations":42`) {
+		t.Errorf("json snapshot missing counter: %s", js.String())
+	}
+}

@@ -1,0 +1,297 @@
+// Package obs is the observability layer of the repository: a lightweight
+// metrics registry (counters, gauges, timers) with a snapshot API, and a
+// Tracer interface with a JSON-lines sink for structured solver events
+// (spans, per-iteration residuals, multigrid level visits, Monte Carlo
+// worker progress).
+//
+// The package is built around a zero-cost-when-disabled contract: every
+// emit helper tolerates a nil Tracer, and every registry accessor
+// tolerates a nil *Registry, so instrumented hot paths pay only a nil
+// check (no time.Now call, no allocation) when observability is off.
+// Solver loops therefore carry their probes unconditionally; callers
+// enable them by supplying a sink.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64 metric. All methods are safe
+// for concurrent use and tolerate a nil receiver (no-op / zero value).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 metric. All methods are safe for
+// concurrent use and tolerate a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (0 before the first Set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates duration observations. All methods are safe for
+// concurrent use and tolerate a nil receiver.
+type Timer struct {
+	mu    sync.Mutex
+	count int64
+	total time.Duration
+	min   time.Duration
+	max   time.Duration
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.count == 0 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	t.count++
+	t.total += d
+	t.mu.Unlock()
+}
+
+// Time starts a stopwatch; the returned function stops it and records the
+// elapsed duration. Usage: defer reg.Timer("solve").Time()().
+func (t *Timer) Time() func() {
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// Stats returns the accumulated statistics.
+func (t *Timer) Stats() TimerStats {
+	if t == nil {
+		return TimerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := TimerStats{Count: t.count, Total: t.total, Min: t.min, Max: t.max}
+	if t.count > 0 {
+		s.Mean = t.total / time.Duration(t.count)
+	}
+	return s
+}
+
+// TimerStats summarizes a Timer. Durations serialize as nanoseconds.
+type TimerStats struct {
+	Count int64         `json:"count"`
+	Total time.Duration `json:"total_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+}
+
+// Registry is a name-indexed collection of metrics. The zero value is not
+// usable; construct with NewRegistry. A nil *Registry is a valid no-op
+// sink: accessors return nil metrics whose methods do nothing, so
+// instrumented code can hold an optional registry without nil checks.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		timers:   make(map[string]*Timer),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.timers[name]
+	if t == nil {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]float64    `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+}
+
+// Snapshot copies the current value of every metric. A nil registry
+// yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Timers:   map[string]TimerStats{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	timers := make(map[string]*Timer, len(r.timers))
+	for k, v := range r.timers {
+		timers[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range timers {
+		s.Timers[k] = v.Stats()
+	}
+	return s
+}
+
+// WriteText renders the snapshot as an aligned table with one metric per
+// line, sorted by name within each metric family.
+func (s Snapshot) WriteText(w io.Writer) error {
+	width := 0
+	for _, m := range []int{maxKeyLen(s.Counters), maxKeyLen(s.Gauges), maxKeyLen(s.Timers)} {
+		if m > width {
+			width = m
+		}
+	}
+	if width < len("metric") {
+		width = len("metric")
+	}
+	if _, err := fmt.Fprintf(w, "%-*s  %s\n", width, "metric", "value"); err != nil {
+		return err
+	}
+	for _, k := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%-*s  %d\n", width, k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%-*s  %g\n", width, k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Timers) {
+		t := s.Timers[k]
+		if _, err := fmt.Fprintf(w, "%-*s  count=%d total=%v mean=%v min=%v max=%v\n",
+			width, k, t.Count, t.Total, t.Mean, t.Min, t.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as a single JSON object.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+func maxKeyLen[V any](m map[string]V) int {
+	n := 0
+	for k := range m {
+		if len(k) > n {
+			n = len(k)
+		}
+	}
+	return n
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

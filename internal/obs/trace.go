@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Event is one structured observability record. Kind discriminates the
+// payload; unused fields stay at their zero value and are omitted from the
+// JSON encoding where possible.
+//
+// Kinds emitted by this repository:
+//
+//	span_start / span_end  wall-clock span around a named operation
+//	                       (span_end carries DurNS)
+//	iter                   one solver iteration: Iter, Residual
+//	level                  one multigrid level visit: Iter (cycle), Level, Size
+//	progress               Monte Carlo worker progress: Worker, Done, Total
+type Event struct {
+	// T is the event timestamp in Unix nanoseconds.
+	T int64 `json:"t"`
+	// Kind is the event discriminator (see the package list above).
+	Kind string `json:"kind"`
+	// Name identifies the emitting component ("power", "multigrid",
+	// "bitsim", "cdranalyze.solve", ...).
+	Name string `json:"name"`
+	// Iter is the iteration, sweep, or cycle number (1-based).
+	Iter int `json:"iter,omitempty"`
+	// Residual is the convergence measure after this iteration.
+	Residual float64 `json:"residual,omitempty"`
+	// Level and Size describe a multigrid level visit.
+	Level int `json:"level,omitempty"`
+	Size  int `json:"size,omitempty"`
+	// Worker, Done, and Total describe simulation progress.
+	Worker int   `json:"worker,omitempty"`
+	Done   int64 `json:"done,omitempty"`
+	Total  int64 `json:"total,omitempty"`
+	// DurNS is the span duration (span_end only).
+	DurNS int64 `json:"dur_ns,omitempty"`
+}
+
+// Tracer is the sink for structured events. Implementations must be safe
+// for concurrent use. Production code passes Tracer values through
+// optional fields whose nil default disables tracing; use the package
+// emit helpers, which tolerate nil, rather than calling Emit directly.
+type Tracer interface {
+	Emit(e Event)
+}
+
+type noop struct{}
+
+func (noop) Emit(Event) {}
+
+// Discard is a Tracer that drops every event. Prefer a nil Tracer in
+// option structs (it skips event construction entirely); Discard exists
+// for call sites that require a non-nil sink.
+var Discard Tracer = noop{}
+
+// StartSpan emits a span_start event and returns a function that emits
+// the matching span_end with the elapsed duration. With a nil tracer it
+// does nothing and returns a no-op function.
+func StartSpan(t Tracer, name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	t.Emit(Event{T: start.UnixNano(), Kind: "span_start", Name: name})
+	return func() {
+		end := time.Now()
+		t.Emit(Event{T: end.UnixNano(), Kind: "span_end", Name: name, DurNS: int64(end.Sub(start))})
+	}
+}
+
+// IterEvent emits one per-iteration residual event; nil tracers cost one
+// branch and nothing else.
+func IterEvent(t Tracer, name string, iter int, residual float64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: time.Now().UnixNano(), Kind: "iter", Name: name, Iter: iter, Residual: residual})
+}
+
+// LevelEvent emits one multigrid level-visit event for the given cycle.
+func LevelEvent(t Tracer, name string, cycle, level, size int) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: time.Now().UnixNano(), Kind: "level", Name: name, Iter: cycle, Level: level, Size: size})
+}
+
+// ProgressEvent emits one worker-progress event.
+func ProgressEvent(t Tracer, name string, worker int, done, total int64) {
+	if t == nil {
+		return
+	}
+	t.Emit(Event{T: time.Now().UnixNano(), Kind: "progress", Name: name, Worker: worker, Done: done, Total: total})
+}
+
+// Collector is a Tracer that records events in memory, optionally
+// forwarding each one to a next sink. It backs post-hoc analyses such as
+// residual-decay slopes without requiring a file sink.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+	next   Tracer
+}
+
+// NewCollector returns a collector forwarding to next (which may be nil).
+func NewCollector(next Tracer) *Collector {
+	return &Collector{next: next}
+}
+
+// Emit records the event and forwards it.
+func (c *Collector) Emit(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+	if c.next != nil {
+		c.next.Emit(e)
+	}
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Reset discards the recorded events.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	c.events = nil
+	c.mu.Unlock()
+}
+
+// DecaySlope fits log10(residual) against the iteration index over the
+// "iter" events carrying the given name and returns the least-squares
+// slope in decades per iteration (negative when converging) together with
+// the number of points used. Events with non-positive residuals are
+// skipped; fewer than two usable points yield (NaN, n).
+func DecaySlope(events []Event, name string) (float64, int) {
+	var xs, ys []float64
+	for _, e := range events {
+		if e.Kind != "iter" || e.Name != name || e.Residual <= 0 {
+			continue
+		}
+		xs = append(xs, float64(e.Iter))
+		ys = append(ys, math.Log10(e.Residual))
+	}
+	n := len(xs)
+	if n < 2 {
+		return math.NaN(), n
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return math.NaN(), n
+	}
+	return (float64(n)*sxy - sx*sy) / den, n
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdrstoch/internal/obs"
 	"cdrstoch/internal/spmat"
 )
 
@@ -85,6 +86,10 @@ type IterOptions struct {
 	// contraction rate is ≈ 1 − 1/E[T], so rare-event sets need either
 	// the dense solver or the flux estimate instead.
 	MaxIter int
+	// Trace receives a span around the solve and one "iter" event per
+	// sweep whose Residual field carries the max relative update. Nil
+	// disables tracing at zero cost.
+	Trace obs.Tracer
 }
 
 func (o IterOptions) withDefaults() IterOptions {
@@ -119,6 +124,8 @@ func HittingTimesIterative(p *spmat.CSR, target []bool, opt IterOptions) ([]floa
 		return nil, false, errors.New("passage: empty target set")
 	}
 	t := make([]float64, n)
+	endSpan := obs.StartSpan(opt.Trace, "hitting-gs")
+	defer endSpan()
 	for it := 0; it < opt.MaxIter; it++ {
 		maxRel := 0.0
 		for i := 0; i < n; i++ {
@@ -153,6 +160,7 @@ func HittingTimesIterative(p *spmat.CSR, target []bool, opt IterOptions) ([]floa
 			}
 			t[i] = next
 		}
+		obs.IterEvent(opt.Trace, "hitting-gs", it+1, maxRel)
 		if maxRel <= opt.Tol {
 			return t, true, nil
 		}
