@@ -25,4 +25,7 @@ echo "== bench smoke (1 iteration per benchmark) =="
 go test -run '^$' -bench 'BenchmarkStationary|BenchmarkFig3MatrixForm' \
     -benchtime 1x -benchmem .
 
+echo "== cdrserved smoke (build, serve, cache-hit replay, SIGTERM drain) =="
+go test -count=1 -run '^TestServerSmoke$' -v ./cmd/cdrserved
+
 echo "== ci.sh: all gates passed =="

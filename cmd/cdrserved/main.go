@@ -1,0 +1,99 @@
+// Command cdrserved is the long-running CDR analysis service: an HTTP
+// JSON daemon answering stationary/BER analyses, cycle-slip statistics
+// and parameter sweeps over the model of the paper, with a
+// content-addressed result cache (identical specs solve once and replay
+// byte-identically), singleflight deduplication of concurrent identical
+// requests, and context-cancellable solvers.
+//
+// Endpoints:
+//
+//	POST /v1/analyze   {"spec": {...}, "async": false}
+//	POST /v1/slip      {"spec": {...}}
+//	POST /v1/sweep     {"spec": {...}, "param": "counter", "values": [1,2,4]}
+//	GET  /v1/jobs/{id} poll an async job
+//	GET  /healthz      liveness + cache/queue occupancy
+//	GET  /metrics      observability registry snapshot (JSON)
+//
+// On SIGINT/SIGTERM the daemon stops accepting, drains queued jobs within
+// the -drain budget, then exits 0.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cdrstoch/internal/cliutil"
+	"cdrstoch/internal/serve"
+)
+
+func main() {
+	app := cliutil.NewObsApp("cdrserved")
+	fs := app.Flags
+	addr := fs.String("addr", "127.0.0.1:8340", "listen address (port 0 picks a free port)")
+	workers := fs.Int("workers", 2, "async job worker count")
+	queue := fs.Int("queue", 8, "async job queue depth; a full queue answers 429")
+	cacheN := fs.Int("cache", 256, "result cache capacity in entries")
+	conc := fs.Int("concurrent", 4, "maximum simultaneous solves")
+	timeout := fs.Duration("timeout", 120*time.Second, "synchronous request deadline")
+	drainBudget := fs.Duration("drain", 30*time.Second, "graceful shutdown budget before canceling running jobs")
+	app.Parse(os.Args[1:])
+	obsrv := app.Setup()
+
+	srv := serve.NewServer(serve.ServerConfig{
+		Engine:      serve.EngineConfig{CacheEntries: *cacheN, MaxConcurrent: *conc},
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		SyncTimeout: *timeout,
+		Registry:    obsrv.Registry,
+		Tracer:      obsrv.Tracer,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		app.Fatal(err)
+	}
+	// The smoke tests parse this line to discover a :0-assigned port;
+	// keep its shape stable.
+	fmt.Printf("cdrserved: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Printf("cdrserved: %v: draining\n", s)
+	case err := <-serveErr:
+		app.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainBudget)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cdrserved: shutdown:", err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		srv.Close() // lets queued jobs finish
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "cdrserved: drain budget exhausted, canceling running jobs")
+		srv.CancelJobs()
+		<-drained
+	}
+	if err := obsrv.Close(os.Stdout); err != nil {
+		app.Fatal(err)
+	}
+	fmt.Println("cdrserved: drained, exiting")
+}

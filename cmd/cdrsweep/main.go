@@ -4,15 +4,15 @@
 //	-sweep noise     BER vs eye-jitter standard deviation (Figure 4 axis)
 //	-sweep solver    solver comparison table vs grid refinement (§Numerical Methods)
 //
-// Each sweep prints one aligned table to stdout.
+// Each sweep prints one aligned table to stdout. With -strict, any
+// unconverged solve turns the warning into a nonzero exit, so scripted
+// sweeps cannot silently tabulate unconverged iterates.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
 
 	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/core"
@@ -22,35 +22,58 @@ import (
 )
 
 func main() {
-	fs := flag.NewFlagSet("cdrsweep", flag.ExitOnError)
-	sf := cliutil.Bind(fs)
-	of := cliutil.BindObs(fs)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// exitUnconverged is the -strict exit status, distinct from usage (2) and
+// operational (1) failures.
+const exitUnconverged = 3
+
+// strictExitCode folds the unconverged-solve count into the process exit
+// status under the -strict contract.
+func strictExitCode(strict bool, unconverged int) int {
+	if strict && unconverged > 0 {
+		return exitUnconverged
+	}
+	return 0
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	app := cliutil.NewApp("cdrsweep")
+	fs := app.Flags
+	sf := app.Spec
 	sweep := fs.String("sweep", "counter", "sweep kind: counter, noise, solver, grid")
 	values := fs.String("values", "", "comma-separated sweep values (defaults per sweep kind)")
 	tol := fs.Float64("tol", 1e-10, "solver tolerance (solver sweep)")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
+	strict := fs.Bool("strict", false, "exit nonzero (status 3) when any solve fails to converge")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	obsrv, err := of.Setup()
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cdrsweep:", err)
+		return 1
+	}
+	obsrv, err := app.Obs.Setup()
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
+	unconverged := 0
 	switch *sweep {
 	case "counter":
 		lengths := []int{1, 2, 4, 8, 16, 32}
 		if *values != "" {
 			var err error
-			lengths, err = parseInts(*values)
+			lengths, err = cliutil.ParseInts(*values)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
-		fmt.Printf("%-8s %12s %14s %10s %8s\n", "counter", "BER", "MTBS(bits)", "states", "cycles")
+		fmt.Fprintf(stdout, "%-8s %12s %14s %10s %8s\n", "counter", "BER", "MTBS(bits)", "states", "cycles")
 		for _, l := range lengths {
 			spec, err := specWithCounter(sf, l)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.counter.%d", l))
 			pointDone := obsrv.Registry.Timer("sweep.point").Time()
@@ -58,11 +81,13 @@ func main() {
 			pointDone()
 			endSpan()
 			if err != nil {
-				fatal(fmt.Errorf("counter %d: %w", l, err))
+				return fail(fmt.Errorf("counter %d: %w", l, err))
 			}
 			obsrv.Registry.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
-			warnUnconverged(p.Analysis.Multigrid.Converged, fmt.Sprintf("counter %d", l), p.Analysis.Multigrid.Residual)
-			fmt.Printf("%-8d %12.3e %14.3e %10d %8d\n",
+			if warnUnconverged(stderr, p.Analysis.Multigrid.Converged, fmt.Sprintf("counter %d", l), p.Analysis.Multigrid.Residual) {
+				unconverged++
+			}
+			fmt.Fprintf(stdout, "%-8d %12.3e %14.3e %10d %8d\n",
 				l, p.Analysis.BER, p.Slip.MeanTimeBetween,
 				p.Model.NumStates(), p.Analysis.Multigrid.Cycles)
 		}
@@ -70,16 +95,16 @@ func main() {
 		sigmas := []float64{0.02, 0.04, 0.06, 0.08, 0.10}
 		if *values != "" {
 			var err error
-			sigmas, err = parseFloats(*values)
+			sigmas, err = cliutil.ParseFloats(*values)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
-		fmt.Printf("%-8s %12s %14s %8s\n", "stdnw", "BER", "MTBS(bits)", "cycles")
+		fmt.Fprintf(stdout, "%-8s %12s %14s %8s\n", "stdnw", "BER", "MTBS(bits)", "cycles")
 		for _, sig := range sigmas {
 			spec, err := sf.Spec()
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			spec.EyeJitter = dist.NewGaussian(0, sig)
 			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.noise.%g", sig))
@@ -88,46 +113,49 @@ func main() {
 			pointDone()
 			endSpan()
 			if err != nil {
-				fatal(fmt.Errorf("stdnw %g: %w", sig, err))
+				return fail(fmt.Errorf("stdnw %g: %w", sig, err))
 			}
 			obsrv.Registry.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
-			warnUnconverged(p.Analysis.Multigrid.Converged, fmt.Sprintf("stdnw %g", sig), p.Analysis.Multigrid.Residual)
-			fmt.Printf("%-8.3f %12.3e %14.3e %8d\n",
+			if warnUnconverged(stderr, p.Analysis.Multigrid.Converged, fmt.Sprintf("stdnw %g", sig), p.Analysis.Multigrid.Residual) {
+				unconverged++
+			}
+			fmt.Fprintf(stdout, "%-8.3f %12.3e %14.3e %8d\n",
 				sig, p.Analysis.BER, p.Slip.MeanTimeBetween, p.Analysis.Multigrid.Cycles)
 		}
 	case "solver":
 		refines := []int{1, 2, 4}
 		if *values != "" {
 			var err error
-			refines, err = parseInts(*values)
+			refines, err = cliutil.ParseInts(*values)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 		for _, r := range refines {
 			spec, err := experiments.ScaledSpec(r)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 			m, err := core.Build(spec)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			fmt.Printf("== grid 1/%d UI: %d states, %d nnz ==\n",
+			fmt.Fprintf(stdout, "== grid 1/%d UI: %d states, %d nnz ==\n",
 				int(1/spec.GridStep+0.5), m.NumStates(), m.P.NNZ())
 			sweepDone := obsrv.Registry.Timer("sweep.solver").Time()
 			rows, err := experiments.CompareSolvers(m, *tol, 200000, obsrv.Tracer)
 			sweepDone()
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
-			if err := experiments.WriteSolverTable(os.Stdout, rows); err != nil {
-				fatal(err)
+			if err := experiments.WriteSolverTable(stdout, rows); err != nil {
+				return fail(err)
 			}
 			for _, row := range rows {
 				obsrv.Registry.Counter("solver.iterations").Add(int64(row.Iterations))
 				if !row.Converged {
-					fmt.Fprintf(os.Stderr,
+					unconverged++
+					fmt.Fprintf(stderr,
 						"cdrsweep: warning: %s did not converge at grid 1/%d (final residual %.3e, decay %.4f/iter); tabulated value is the unconverged iterate\n",
 						row.Name, int(1/spec.GridStep+0.5), row.Residual, row.Slope)
 				}
@@ -137,41 +165,49 @@ func main() {
 		denoms := []int{16, 32, 64, 128}
 		if *values != "" {
 			var err error
-			denoms, err = parseInts(*values)
+			denoms, err = cliutil.ParseInts(*values)
 			if err != nil {
-				fatal(err)
+				return fail(err)
 			}
 		}
 		points, err := experiments.GridStudy(denoms, 0.0005, 0.012, 0.08, 8)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("%-8s %10s %12s %8s %14s\n", "grid", "states", "BER", "cycles", "|dBER|")
+		fmt.Fprintf(stdout, "%-8s %10s %12s %8s %14s\n", "grid", "states", "BER", "cycles", "|dBER|")
 		prev := 0.0
 		for i, p := range points {
 			diff := "-"
 			if i > 0 {
 				diff = fmt.Sprintf("%.3e", abs(p.BER-prev))
 			}
-			fmt.Printf("1/%-6d %10d %12.3e %8d %14s\n", p.GridDenom, p.States, p.BER, p.Cycles, diff)
+			fmt.Fprintf(stdout, "1/%-6d %10d %12.3e %8d %14s\n", p.GridDenom, p.States, p.BER, p.Cycles, diff)
 			prev = p.BER
 		}
 	default:
-		fatal(fmt.Errorf("unknown sweep %q", *sweep))
+		return fail(fmt.Errorf("unknown sweep %q", *sweep))
 	}
-	if err := obsrv.Close(os.Stdout); err != nil {
-		fatal(err)
+	if err := obsrv.Close(stdout); err != nil {
+		return fail(err)
 	}
+	if code := strictExitCode(*strict, unconverged); code != 0 {
+		fmt.Fprintf(stderr, "cdrsweep: %d solve(s) did not converge (-strict)\n", unconverged)
+		return code
+	}
+	return 0
 }
 
 // warnUnconverged reports an unconverged iterative solve on stderr rather
-// than letting the unconverged value enter the table silently.
-func warnUnconverged(converged bool, point string, residual float64) {
-	if !converged {
-		fmt.Fprintf(os.Stderr,
-			"cdrsweep: warning: solver did not converge at %s (final residual %.3e); tabulated value is the unconverged iterate\n",
-			point, residual)
+// than letting the unconverged value enter the table silently, and
+// reports whether it warned (for the -strict accounting).
+func warnUnconverged(w io.Writer, converged bool, point string, residual float64) bool {
+	if converged {
+		return false
 	}
+	fmt.Fprintf(w,
+		"cdrsweep: warning: solver did not converge at %s (final residual %.3e); tabulated value is the unconverged iterate\n",
+		point, residual)
+	return true
 }
 
 func abs(x float64) float64 {
@@ -193,33 +229,4 @@ func specWithCounter(sf *cliutil.SpecFlags, l int) (core.Spec, error) {
 	}
 	spec.CounterLen = l
 	return spec, spec.Validate()
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil {
-			return nil, fmt.Errorf("bad integer %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseFloats(s string) ([]float64, error) {
-	var out []float64
-	for _, part := range strings.Split(s, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad float %q", part)
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "cdrsweep:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallSpecArgs shrinks the model to ~153 states so sweeps run in
+// milliseconds.
+var smallSpecArgs = []string{
+	"-grid", "16", "-corr", "8", "-phasemax", "0.5", "-counter", "2",
+	"-maxrun", "3", "-stdnw", "0.05",
+	"-drift-max", "0.125", "-drift-mean", "0.01", "-drift-shape", "0.5",
+}
+
+func TestRunNoiseSweepConvergedExitsZero(t *testing.T) {
+	for _, strict := range []bool{false, true} {
+		args := append([]string{"-sweep", "noise", "-values", "0.05"}, smallSpecArgs...)
+		if strict {
+			args = append(args, "-strict")
+		}
+		var stdout, stderr bytes.Buffer
+		code := run(args, &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("strict=%v: exit %d, stderr:\n%s", strict, code, stderr.String())
+		}
+		if !strings.Contains(stdout.String(), "stdnw") {
+			t.Errorf("strict=%v: missing table header in output:\n%s", strict, stdout.String())
+		}
+		if strings.Contains(stderr.String(), "did not converge") {
+			t.Errorf("strict=%v: unexpected convergence warning:\n%s", strict, stderr.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownSweep(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sweep", "bogus"}, &stdout, &stderr); code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown sweep") {
+		t.Errorf("stderr: %s", stderr.String())
+	}
+}
+
+// TestStrictExitCode covers both sides of the -strict contract: an
+// unconverged solve is fatal only when strict is requested.
+func TestStrictExitCode(t *testing.T) {
+	cases := []struct {
+		strict      bool
+		unconverged int
+		want        int
+	}{
+		{false, 0, 0},
+		{false, 3, 0},
+		{true, 0, 0},
+		{true, 1, exitUnconverged},
+	}
+	for _, c := range cases {
+		if got := strictExitCode(c.strict, c.unconverged); got != c.want {
+			t.Errorf("strictExitCode(%v, %d) = %d, want %d", c.strict, c.unconverged, got, c.want)
+		}
+	}
+}
+
+func TestWarnUnconverged(t *testing.T) {
+	var buf bytes.Buffer
+	if warnUnconverged(&buf, true, "counter 4", 1e-13) {
+		t.Error("converged solve reported as warned")
+	}
+	if buf.Len() != 0 {
+		t.Errorf("converged solve wrote: %s", buf.String())
+	}
+	if !warnUnconverged(&buf, false, "counter 4", 1e-3) {
+		t.Error("unconverged solve not reported")
+	}
+	if !strings.Contains(buf.String(), "did not converge at counter 4") {
+		t.Errorf("warning text: %s", buf.String())
+	}
+}

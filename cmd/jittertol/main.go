@@ -12,11 +12,8 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/experiments"
@@ -24,22 +21,17 @@ import (
 )
 
 func main() {
-	fs := flag.NewFlagSet("jittertol", flag.ExitOnError)
-	sf := cliutil.Bind(fs)
-	of := cliutil.BindObs(fs)
+	app := cliutil.NewApp("jittertol")
+	fs := app.Flags
+	sf := app.Spec
 	target := fs.Float64("target", 1e-6, "BER target")
 	slotName := fs.String("slot", "eye", "jitter injection slot: eye (n_w) or drift (n_r)")
 	maxAmp := fs.Float64("maxamp", 0.4, "maximum amplitude searched, UI")
 	tolUI := fs.Float64("resolution", 0.005, "bisection resolution, UI")
 	counters := fs.String("counters", "", "comma-separated counter lengths to sweep (empty = single run)")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
-	}
+	app.Parse(os.Args[1:])
 
-	obsrv, err := of.Setup()
-	if err != nil {
-		fatal(err)
-	}
+	obsrv := app.Setup()
 
 	var slot experiments.SJSlot
 	switch *slotName {
@@ -48,18 +40,15 @@ func main() {
 	case "drift":
 		slot = experiments.SJDrift
 	default:
-		fatal(fmt.Errorf("unknown slot %q", *slotName))
+		app.Fatal(fmt.Errorf("unknown slot %q", *slotName))
 	}
 
 	lengths := []int{0}
 	if *counters != "" {
-		lengths = nil
-		for _, part := range strings.Split(*counters, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil {
-				fatal(fmt.Errorf("bad counter %q", part))
-			}
-			lengths = append(lengths, v)
+		var err error
+		lengths, err = cliutil.ParseInts(*counters)
+		if err != nil {
+			app.Fatal(err)
 		}
 	}
 
@@ -68,37 +57,32 @@ func main() {
 	for _, l := range lengths {
 		spec, err := sf.Spec()
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		label := spec.CounterLen
 		if l > 0 {
 			spec.CounterLen = l
 			label = l
 			if err := spec.Validate(); err != nil {
-				fatal(err)
+				app.Fatal(err)
 			}
 		}
 		endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("jittertol.counter.%d", label))
 		searchDone := obsrv.Registry.Timer("tolerance.search").Time()
 		base, err := experiments.BERWithSJ(spec, 0, slot)
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		tol, err := experiments.JitterTolerance(spec, *target, slot, *maxAmp, *tolUI)
 		searchDone()
 		endSpan()
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		obsrv.Registry.Counter("tolerance.searches").Inc()
 		fmt.Printf("%-8d %14.4f %14.3e\n", label, tol, base)
 	}
 	if err := obsrv.Close(os.Stdout); err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "jittertol:", err)
-	os.Exit(1)
 }

@@ -10,7 +10,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -20,23 +19,18 @@ import (
 )
 
 func main() {
-	fs := flag.NewFlagSet("tpmspy", flag.ExitOnError)
-	sf := cliutil.Bind(fs)
-	of := cliutil.BindObs(fs)
+	app := cliutil.NewApp("tpmspy")
+	fs := app.Flags
+	sf := app.Spec
 	w := fs.Int("w", 96, "ASCII pattern width in characters")
 	h := fs.Int("h", 48, "ASCII pattern height in characters")
 	pgm := fs.String("pgm", "", "write a 512x512 PGM image of the pattern to this path")
 	mm := fs.String("mm", "", "write the full matrix in MatrixMarket format to this path")
-	if err := fs.Parse(os.Args[1:]); err != nil {
-		os.Exit(2)
-	}
-	obsrv, err := of.Setup()
-	if err != nil {
-		fatal(err)
-	}
+	app.Parse(os.Args[1:])
+	obsrv := app.Setup()
 	spec, err := sf.Spec()
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	buildDone := obsrv.Registry.Timer("build").Time()
 	endBuild := obs.StartSpan(obsrv.Tracer, "tpmspy.build")
@@ -44,7 +38,7 @@ func main() {
 	endBuild()
 	buildDone()
 	if err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
 	n := m.NumStates()
 	obsrv.Registry.Gauge("model.states").Set(float64(n))
@@ -55,26 +49,26 @@ func main() {
 	if *pgm != "" {
 		f, err := os.Create(*pgm)
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		if err := m.P.WritePGM(f, 512, 512); err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		fmt.Println("wrote", *pgm)
 	}
 	if *mm != "" {
 		f, err := os.Create(*mm)
 		if err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		if err := m.P.WriteMatrixMarket(f); err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			app.Fatal(err)
 		}
 		fmt.Println("wrote", *mm)
 	}
@@ -82,11 +76,6 @@ func main() {
 		fmt.Print(m.P.Pattern(*w, *h))
 	}
 	if err := obsrv.Close(os.Stdout); err != nil {
-		fatal(err)
+		app.Fatal(err)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "tpmspy:", err)
-	os.Exit(1)
 }

@@ -10,6 +10,7 @@
 package bitsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -54,6 +55,11 @@ type Config struct {
 	// determines every random stream, so merged estimates depend only on
 	// (Seed, Bits, ChunkBits). Override only to tune scheduling.
 	ChunkBits int64
+	// Ctx, when non-nil, is polled on the progress cadence (every 2^17
+	// simulated bits): a canceled or expired context aborts the run with a
+	// partial-progress error wrapping ctx.Err(). RunParallel additionally
+	// checks it between chunks. Nil never cancels.
+	Ctx context.Context
 }
 
 // Result reports a Monte Carlo run.
@@ -177,8 +183,15 @@ func Run(cfg Config) (*Result, error) {
 
 	total := warm + cfg.Bits
 	for k := int64(0); k < total; k++ {
-		if cfg.Trace != nil && (k+1)&(progressStride-1) == 0 {
-			obs.ProgressEvent(cfg.Trace, "bitsim", cfg.WorkerID, k+1, total)
+		if (k+1)&(progressStride-1) == 0 {
+			if cfg.Trace != nil {
+				obs.ProgressEvent(cfg.Trace, "bitsim", cfg.WorkerID, k+1, total)
+			}
+			if cfg.Ctx != nil {
+				if err := cfg.Ctx.Err(); err != nil {
+					return nil, fmt.Errorf("bitsim: run stopped after %d of %d bits: %w", k+1, total, err)
+				}
+			}
 		}
 		measuring := k >= warm
 		phi := m.PhaseValue(mi)

@@ -1,0 +1,37 @@
+package bitsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cdrstoch/internal/core"
+)
+
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Spec: core.DefaultSpec(),
+		Bits: 1 << 18, // several progress strides
+		Seed: 1,
+		Ctx:  ctx,
+	}
+	if _, err := Run(cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestRunParallelHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Spec: core.DefaultSpec(),
+		Bits: 1 << 19,
+		Seed: 1,
+		Ctx:  ctx,
+	}
+	if _, err := RunParallel(cfg, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -78,6 +78,10 @@ func RunParallel(cfg Config, workers int) (*Result, error) {
 				if c >= numChunks {
 					return
 				}
+				if cfg.Ctx != nil && cfg.Ctx.Err() != nil {
+					errs[c] = fmt.Errorf("bitsim: chunk not started: %w", cfg.Ctx.Err())
+					return
+				}
 				sub := cfg
 				sub.Bits = chunk
 				if c == numChunks-1 {

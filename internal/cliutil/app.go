@@ -1,0 +1,90 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// App bundles the per-command boilerplate shared by every CLI in cmd/:
+// a named FlagSet carrying the standard flag groups, name-prefixed fatal
+// error reporting, and observability setup. Commands add their own flags
+// on App.Flags before parsing.
+type App struct {
+	// Name prefixes error output and names the FlagSet.
+	Name string
+	// Flags is the command's flag set (flag.ExitOnError).
+	Flags *flag.FlagSet
+	// Spec holds the model-specification flag group; nil for commands
+	// that receive specs another way (e.g. cdrserved, over HTTP).
+	Spec *SpecFlags
+	// Obs holds the observability flag group (-trace, -metrics, -pprof).
+	Obs *ObsFlags
+}
+
+// NewApp returns an App with both the spec and observability flag groups
+// bound — the shape of the analysis CLIs.
+func NewApp(name string) *App {
+	a := NewObsApp(name)
+	a.Spec = Bind(a.Flags)
+	return a
+}
+
+// NewObsApp returns an App with only the observability flag group bound —
+// for commands whose model parameters do not come from flags.
+func NewObsApp(name string) *App {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	return &App{Name: name, Flags: fs, Obs: BindObs(fs)}
+}
+
+// Parse parses the command-line arguments, exiting with status 2 on error
+// (matching flag.ExitOnError behavior for programmatic errors).
+func (a *App) Parse(args []string) {
+	if err := a.Flags.Parse(args); err != nil {
+		os.Exit(2)
+	}
+}
+
+// Fatal reports err prefixed with the command name and exits 1.
+func (a *App) Fatal(err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", a.Name, err)
+	os.Exit(1)
+}
+
+// Setup configures the observability sinks from the parsed flags, exiting
+// fatally on failure.
+func (a *App) Setup() *Obs {
+	o, err := a.Obs.Setup()
+	if err != nil {
+		a.Fatal(err)
+	}
+	return o
+}
+
+// ParseInts parses a comma-separated integer list ("1, 2,4" → [1 2 4]).
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated float list.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 1,2, 4 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{1, 2, 4}) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Error("bad integer accepted")
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("0.5, 1e-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{0.5, 1e-3}) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseFloats(""); err == nil {
+		t.Error("empty element accepted")
+	}
+}
+
+func TestNewAppBindsFlagGroups(t *testing.T) {
+	a := NewApp("x")
+	if a.Spec == nil || a.Obs == nil || a.Flags == nil {
+		t.Fatalf("incomplete app: %+v", a)
+	}
+	if a.Flags.Lookup("counter") == nil || a.Flags.Lookup("trace") == nil {
+		t.Error("standard flags not bound")
+	}
+	b := NewObsApp("y")
+	if b.Spec != nil {
+		t.Error("obs-only app bound spec flags")
+	}
+	if b.Flags.Lookup("trace") == nil {
+		t.Error("obs flags not bound")
+	}
+	if b.Flags.Lookup("counter") != nil {
+		t.Error("spec flags leaked into obs-only app")
+	}
+}

@@ -130,6 +130,10 @@ func (s Spec) Validate() error {
 		}
 	} else if s.PhaseMax < s.Threshold {
 		return fmt.Errorf("core: PhaseMax %g must reach the decision threshold %g", s.PhaseMax, s.Threshold)
+	} else if s.GridStep >= s.PhaseMax {
+		// A step at or beyond the half-span collapses the grid to at most
+		// three points and the boundary slip states swallow the lock point.
+		return fmt.Errorf("core: degenerate grid: GridStep %g must be smaller than PhaseMax %g", s.GridStep, s.PhaseMax)
 	}
 	if s.CorrectionStep <= 0 {
 		return errors.New("core: CorrectionStep must be positive")

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"cdrstoch/internal/dist"
+)
+
+// This file gives Spec a total, canonical JSON encoding. "Total" means
+// every Spec assembled from the laws in internal/dist marshals without
+// loss; "canonical" means the encoding is a pure function of the Spec
+// value — struct-driven field order, no maps, shortest-round-trip float
+// formatting — so byte equality of encodings coincides with semantic
+// equality of specs. internal/serve/speckey hashes these bytes to key the
+// analysis result cache, and cdrserved decodes request bodies with the
+// same codec, so requests and cache keys can never disagree about what a
+// spec means.
+//
+// Continuous laws are encoded as a discriminated union on "kind":
+//
+//	{"kind":"gaussian","mu":0,"sigma":0.02}
+//	{"kind":"uniform","a":-0.1,"b":0.1}
+//	{"kind":"sinusoidal","amp":0.25}
+//	{"kind":"laplace","mu":0,"b":0.014}
+//	{"kind":"pmf","pmf":{"step":0.015625,"prob":[...]}}
+//	{"kind":"mixture","components":[...],"weights":[...]}
+//
+// Unknown kinds fail to decode; law types outside internal/dist fail to
+// encode (both with descriptive errors, never panics).
+
+// distWire is the wire form of a dist.Continuous law.
+type distWire struct {
+	Kind       string     `json:"kind"`
+	Mu         float64    `json:"mu,omitempty"`
+	Sigma      float64    `json:"sigma,omitempty"`
+	A          float64    `json:"a,omitempty"`
+	B          float64    `json:"b,omitempty"`
+	Amp        float64    `json:"amp,omitempty"`
+	Components []distWire `json:"components,omitempty"`
+	Weights    []float64  `json:"weights,omitempty"`
+	PMF        *pmfWire   `json:"pmf,omitempty"`
+}
+
+// pmfWire is the wire form of a *dist.PMF.
+type pmfWire struct {
+	Step   float64   `json:"step"`
+	Origin float64   `json:"origin,omitempty"`
+	MinK   int       `json:"min_k,omitempty"`
+	Prob   []float64 `json:"prob"`
+}
+
+// specWire is the wire form of Spec.
+type specWire struct {
+	GridStep          float64   `json:"grid_step"`
+	PhaseMax          float64   `json:"phase_max,omitempty"`
+	CorrectionStep    float64   `json:"correction_step"`
+	TransitionDensity float64   `json:"transition_density"`
+	MaxRunLength      int       `json:"max_run_length,omitempty"`
+	EyeJitter         *distWire `json:"eye_jitter,omitempty"`
+	Drift             *pmfWire  `json:"drift,omitempty"`
+	CounterLen        int       `json:"counter_len"`
+	Threshold         float64   `json:"threshold"`
+	PDDeadZone        float64   `json:"pd_dead_zone,omitempty"`
+	WrapPhase         bool      `json:"wrap_phase,omitempty"`
+}
+
+func encodePMF(p *dist.PMF) *pmfWire {
+	prob := make([]float64, len(p.Prob))
+	copy(prob, p.Prob)
+	return &pmfWire{Step: p.Step, Origin: p.Origin, MinK: p.MinK, Prob: prob}
+}
+
+func decodePMF(w *pmfWire) (*dist.PMF, error) {
+	return dist.NewPMF(w.Step, w.Origin, w.MinK, w.Prob)
+}
+
+func encodeContinuous(c dist.Continuous) (*distWire, error) {
+	switch law := c.(type) {
+	case dist.Gaussian:
+		return &distWire{Kind: "gaussian", Mu: law.Mu, Sigma: law.Sigma}, nil
+	case dist.Uniform:
+		return &distWire{Kind: "uniform", A: law.A, B: law.B}, nil
+	case dist.Sinusoidal:
+		return &distWire{Kind: "sinusoidal", Amp: law.Amp}, nil
+	case dist.Laplace:
+		return &distWire{Kind: "laplace", Mu: law.Mu, B: law.B}, nil
+	case *dist.PMF:
+		return &distWire{Kind: "pmf", PMF: encodePMF(law)}, nil
+	case *dist.Mixture:
+		comps, weights := law.Components()
+		out := &distWire{Kind: "mixture", Weights: weights}
+		for _, comp := range comps {
+			cw, err := encodeContinuous(comp)
+			if err != nil {
+				return nil, err
+			}
+			out.Components = append(out.Components, *cw)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("core: cannot serialize jitter law %T", c)
+	}
+}
+
+func decodeContinuous(w *distWire) (dist.Continuous, error) {
+	switch w.Kind {
+	case "gaussian":
+		if w.Sigma <= 0 {
+			return nil, fmt.Errorf("core: gaussian sigma %g must be positive", w.Sigma)
+		}
+		return dist.Gaussian{Mu: w.Mu, Sigma: w.Sigma}, nil
+	case "uniform":
+		if w.A >= w.B {
+			return nil, fmt.Errorf("core: uniform requires a < b, got [%g, %g]", w.A, w.B)
+		}
+		return dist.Uniform{A: w.A, B: w.B}, nil
+	case "sinusoidal":
+		if w.Amp <= 0 {
+			return nil, fmt.Errorf("core: sinusoidal amplitude %g must be positive", w.Amp)
+		}
+		return dist.Sinusoidal{Amp: w.Amp}, nil
+	case "laplace":
+		if w.B <= 0 {
+			return nil, fmt.Errorf("core: laplace scale %g must be positive", w.B)
+		}
+		return dist.Laplace{Mu: w.Mu, B: w.B}, nil
+	case "pmf":
+		if w.PMF == nil {
+			return nil, errors.New(`core: "pmf" law missing its "pmf" field`)
+		}
+		return decodePMF(w.PMF)
+	case "mixture":
+		comps := make([]dist.Continuous, 0, len(w.Components))
+		for i := range w.Components {
+			c, err := decodeContinuous(&w.Components[i])
+			if err != nil {
+				return nil, fmt.Errorf("core: mixture component %d: %w", i, err)
+			}
+			comps = append(comps, c)
+		}
+		return dist.NewMixture(comps, w.Weights)
+	case "":
+		return nil, errors.New(`core: jitter law missing "kind"`)
+	default:
+		return nil, fmt.Errorf("core: unknown jitter law kind %q", w.Kind)
+	}
+}
+
+// MarshalJSON encodes the spec in its canonical wire form. The encoding is
+// deterministic (identical specs yield identical bytes), which is what
+// internal/serve/speckey relies on for content-addressed cache keys.
+func (s Spec) MarshalJSON() ([]byte, error) {
+	w := specWire{
+		GridStep:          s.GridStep,
+		PhaseMax:          s.PhaseMax,
+		CorrectionStep:    s.CorrectionStep,
+		TransitionDensity: s.TransitionDensity,
+		MaxRunLength:      s.MaxRunLength,
+		CounterLen:        s.CounterLen,
+		Threshold:         s.Threshold,
+		PDDeadZone:        s.PDDeadZone,
+		WrapPhase:         s.WrapPhase,
+	}
+	if s.EyeJitter != nil {
+		ew, err := encodeContinuous(s.EyeJitter)
+		if err != nil {
+			return nil, err
+		}
+		w.EyeJitter = ew
+	}
+	if s.Drift != nil {
+		w.Drift = encodePMF(s.Drift)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the canonical wire form. Decoding reconstructs the
+// jitter laws but does not run Validate; callers that accept untrusted
+// input (the cdrserved request handlers) validate separately so that
+// structural and semantic errors stay distinguishable.
+func (s *Spec) UnmarshalJSON(data []byte) error {
+	var w specWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("core: bad spec JSON: %w", err)
+	}
+	out := Spec{
+		GridStep:          w.GridStep,
+		PhaseMax:          w.PhaseMax,
+		CorrectionStep:    w.CorrectionStep,
+		TransitionDensity: w.TransitionDensity,
+		MaxRunLength:      w.MaxRunLength,
+		CounterLen:        w.CounterLen,
+		Threshold:         w.Threshold,
+		PDDeadZone:        w.PDDeadZone,
+		WrapPhase:         w.WrapPhase,
+	}
+	if w.EyeJitter != nil {
+		law, err := decodeContinuous(w.EyeJitter)
+		if err != nil {
+			return err
+		}
+		out.EyeJitter = law
+	}
+	if w.Drift != nil {
+		drift, err := decodePMF(w.Drift)
+		if err != nil {
+			return fmt.Errorf("core: bad drift PMF: %w", err)
+		}
+		out.Drift = drift
+	}
+	*s = out
+	return nil
+}

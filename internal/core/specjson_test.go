@@ -1,0 +1,165 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"cdrstoch/internal/dist"
+)
+
+// roundTrip marshals, unmarshals and re-marshals a spec, failing the test
+// on any codec error, and returns the decoded spec plus both encodings.
+func roundTrip(t *testing.T, s Spec) (Spec, []byte, []byte) {
+	t.Helper()
+	first, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Spec
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	return back, first, second
+}
+
+func TestSpecJSONRoundTripDefault(t *testing.T) {
+	s := DefaultSpec()
+	back, first, second := roundTrip(t, s)
+	if !bytes.Equal(first, second) {
+		t.Errorf("encoding not stable under round trip:\n%s\n%s", first, second)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped spec invalid: %v", err)
+	}
+	if back.GridStep != s.GridStep || back.PhaseMax != s.PhaseMax ||
+		back.CorrectionStep != s.CorrectionStep || back.CounterLen != s.CounterLen ||
+		back.TransitionDensity != s.TransitionDensity || back.MaxRunLength != s.MaxRunLength ||
+		back.Threshold != s.Threshold || back.PDDeadZone != s.PDDeadZone ||
+		back.WrapPhase != s.WrapPhase {
+		t.Errorf("scalar fields changed: %+v vs %+v", back, s)
+	}
+	if g, ok := back.EyeJitter.(dist.Gaussian); !ok || g.Sigma != 0.02 {
+		t.Errorf("eye jitter law changed: %#v", back.EyeJitter)
+	}
+	if math.Abs(back.Drift.Mean()-s.Drift.Mean()) > 1e-15 {
+		t.Errorf("drift mean changed: %g vs %g", back.Drift.Mean(), s.Drift.Mean())
+	}
+}
+
+func TestSpecJSONRoundTripAllLaws(t *testing.T) {
+	pmfEye, err := dist.NewPMF(1.0/64, 0, -1, []float64{0.25, 0.5, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := dist.NewMixture(
+		[]dist.Continuous{dist.NewGaussian(0, 0.01), dist.NewSinusoidal(0.1)},
+		[]float64{0.7, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	laws := []dist.Continuous{
+		dist.NewGaussian(0.001, 0.03),
+		dist.NewUniform(-0.05, 0.07),
+		dist.NewSinusoidal(0.12),
+		dist.NewLaplace(0, 0.02),
+		pmfEye,
+		mix,
+	}
+	for _, law := range laws {
+		s := DefaultSpec()
+		s.EyeJitter = law
+		back, first, second := roundTrip(t, s)
+		if !bytes.Equal(first, second) {
+			t.Errorf("%T: encoding not stable:\n%s\n%s", law, first, second)
+		}
+		if math.Abs(back.EyeJitter.Std()-law.Std()) > 1e-12 {
+			t.Errorf("%T: std changed %g -> %g", law, law.Std(), back.EyeJitter.Std())
+		}
+		if math.Abs(back.EyeJitter.Mean()-law.Mean()) > 1e-12 {
+			t.Errorf("%T: mean changed %g -> %g", law, law.Mean(), back.EyeJitter.Mean())
+		}
+		if math.Abs(back.EyeJitter.CDF(0.01)-law.CDF(0.01)) > 1e-12 {
+			t.Errorf("%T: CDF changed", law)
+		}
+	}
+}
+
+func TestSpecJSONWrapPhase(t *testing.T) {
+	s := DefaultSpec()
+	s.WrapPhase = true
+	s.PhaseMax = 0
+	back, _, _ := roundTrip(t, s)
+	if !back.WrapPhase {
+		t.Error("WrapPhase lost in round trip")
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("wrap spec invalid after round trip: %v", err)
+	}
+}
+
+func TestSpecJSONDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name, body, want string
+	}{
+		{"unknown kind", `{"eye_jitter":{"kind":"cauchy"}}`, "unknown jitter law"},
+		{"missing kind", `{"eye_jitter":{"mu":1}}`, `missing "kind"`},
+		{"bad sigma", `{"eye_jitter":{"kind":"gaussian","sigma":-1}}`, "sigma"},
+		{"bad uniform", `{"eye_jitter":{"kind":"uniform","a":2,"b":1}}`, "a < b"},
+		{"pmf without payload", `{"eye_jitter":{"kind":"pmf"}}`, "missing"},
+		{"bad drift", `{"drift":{"step":-1,"prob":[1]}}`, "drift"},
+		{"not json", `{"grid_step": "x"}`, "bad spec JSON"},
+	}
+	for _, tc := range cases {
+		var s Spec
+		err := json.Unmarshal([]byte(tc.body), &s)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpecJSONEncodeUnsupportedLaw(t *testing.T) {
+	s := DefaultSpec()
+	s.EyeJitter = unsupportedLaw{}
+	if _, err := json.Marshal(s); err == nil {
+		t.Error("expected error encoding unsupported law")
+	}
+}
+
+type unsupportedLaw struct{}
+
+func (unsupportedLaw) CDF(float64) float64 { return 0 }
+func (unsupportedLaw) Mean() float64       { return 0 }
+func (unsupportedLaw) Std() float64        { return 1 }
+
+func TestValidateDegenerateGrids(t *testing.T) {
+	// GridStep at or beyond PhaseMax collapses the saturating grid.
+	s := DefaultSpec()
+	s.GridStep = s.PhaseMax
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "degenerate grid") {
+		t.Errorf("GridStep == PhaseMax: got %v, want degenerate-grid error", err)
+	}
+	s.GridStep = s.PhaseMax * 2
+	if err := s.Validate(); err == nil {
+		t.Error("GridStep > PhaseMax accepted")
+	}
+
+	// CorrectionStep that is not a grid multiple.
+	s = DefaultSpec()
+	s.CorrectionStep = s.GridStep * 2.5
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "multiple") {
+		t.Errorf("fractional CorrectionStep: got %v, want multiple error", err)
+	}
+
+	// Sanity: the default spec still validates.
+	if err := DefaultSpec().Validate(); err != nil {
+		t.Fatalf("DefaultSpec invalid: %v", err)
+	}
+}

@@ -196,6 +196,18 @@ func (m *Mixture) Std() float64 {
 	return math.Sqrt(v)
 }
 
+// Components returns copies of the mixture's component laws and its
+// normalized weights, in construction order. Serialization layers (the
+// core.Spec JSON codec) use this to encode mixtures without reaching into
+// package internals.
+func (m *Mixture) Components() ([]Continuous, []float64) {
+	comps := make([]Continuous, len(m.comps))
+	copy(comps, m.comps)
+	weights := make([]float64, len(m.weights))
+	copy(weights, m.weights)
+	return comps, weights
+}
+
 // PMF is a discrete law on grid-aligned support: outcome k has value
 // k·Step + Origin and probability Prob[k−MinK]. All model-facing discrete
 // noise is expressed this way so that state transitions land exactly on

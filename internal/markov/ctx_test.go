@@ -1,0 +1,61 @@
+package markov
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"cdrstoch/internal/spmat"
+)
+
+// ringChain builds a lazy cycle on n states: stay with probability 1/2,
+// advance with probability 1/2 — aperiodic, irreducible, slow to mix.
+func ringChain(n int) *spmat.CSR {
+	tr := spmat.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 0.5)
+		tr.Add(i, (i+1)%n, 0.5)
+	}
+	return tr.ToCSR()
+}
+
+func TestStationarySolversHonorContext(t *testing.T) {
+	ch, err := New(ringChain(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Ctx: ctx, MaxIter: 1000}
+	solvers := map[string]func() (Result, error){
+		"power":        func() (Result, error) { return ch.StationaryPower(opt) },
+		"jacobi":       func() (Result, error) { return ch.StationaryJacobi(opt) },
+		"gauss-seidel": func() (Result, error) { return ch.StationaryGaussSeidel(opt) },
+		"gmres":        func() (Result, error) { return ch.StationaryGMRES(GMRESOptions{Ctx: ctx}) },
+	}
+	for name, solve := range solvers {
+		res, err := solve()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", name, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), "stopped after") {
+			t.Errorf("%s: error lacks partial progress: %v", name, err)
+		}
+		if res.Converged {
+			t.Errorf("%s: canceled solve reported converged", name)
+		}
+	}
+}
+
+func TestStationaryPowerNilContext(t *testing.T) {
+	ch, err := New(ringChain(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ch.StationaryPower(Options{Tol: 1e-10})
+	if err != nil || !res.Converged {
+		t.Fatalf("nil-context solve failed: %v %v", res, err)
+	}
+}

@@ -1,6 +1,7 @@
 package markov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -31,6 +32,10 @@ type GMRESOptions struct {
 	// restart cycle (Iter = cumulative matrix–vector products) with the
 	// stationarity defect of the normalized iterate. Nil disables tracing.
 	Trace obs.Tracer
+	// Ctx, when non-nil, is checked at every restart boundary: a canceled
+	// or expired context stops the solve with a partial-progress error
+	// wrapping ctx.Err(). Nil never cancels.
+	Ctx context.Context
 }
 
 func (o GMRESOptions) withDefaults() GMRESOptions {
@@ -104,6 +109,13 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 	endSpan := obs.StartSpan(opt.Trace, "gmres")
 	defer endSpan()
 	for matvecs < opt.MaxIter {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				res.Pi = x
+				return res, fmt.Errorf("markov: gmres solve stopped after %d matvecs (residual %.3e): %w",
+					matvecs, res.Residual, err)
+			}
+		}
 		// r = b − A·x
 		apply(w, x)
 		matvecs++

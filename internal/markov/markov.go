@@ -11,6 +11,7 @@
 package markov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -116,6 +117,24 @@ type Options struct {
 	// sweep with the running residual. The nil default keeps the
 	// iteration loop free of observability overhead.
 	Trace obs.Tracer
+	// Ctx, when non-nil, is checked at every sweep boundary: a canceled or
+	// expired context stops the solve and the solver returns a
+	// partial-progress error wrapping ctx.Err(). Nil never cancels.
+	Ctx context.Context
+}
+
+// ctxErr reports the context error to surface at a sweep boundary, nil
+// when the solve should continue. name and progress label the partial
+// result in the returned error.
+func (o Options) ctxErr(name string, iterations int, residual float64) error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return fmt.Errorf("markov: %s solve stopped after %d sweeps (residual %.3e): %w",
+			name, iterations, residual, err)
+	}
+	return nil
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -179,6 +198,10 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 	endSpan := obs.StartSpan(opt.Trace, "power")
 	defer endSpan()
 	for it := 1; it <= opt.MaxIter; it++ {
+		if err := opt.ctxErr("power", res.Iterations, res.Residual); err != nil {
+			res.Pi = x
+			return res, err
+		}
 		c.p.VecMul(y, x)
 		r := 0.0
 		a := opt.Damping
@@ -225,6 +248,10 @@ func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 	endSpan := obs.StartSpan(opt.Trace, "jacobi")
 	defer endSpan()
 	for it := 1; it <= opt.MaxIter; it++ {
+		if err := opt.ctxErr("jacobi", res.Iterations, res.Residual); err != nil {
+			res.Pi = x
+			return res, err
+		}
 		n := c.N()
 		for i := 0; i < n; i++ {
 			cols, vals := pt.Row(i) // row i of Pᵀ = column i of P
@@ -274,6 +301,10 @@ func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
 	endSpan := obs.StartSpan(opt.Trace, "gauss-seidel")
 	defer endSpan()
 	for it := 1; it <= opt.MaxIter; it++ {
+		if err := opt.ctxErr("gauss-seidel", res.Iterations, res.Residual); err != nil {
+			res.Pi = x
+			return res, err
+		}
 		for i := 0; i < n; i++ {
 			cols, vals := pt.Row(i)
 			s := 0.0

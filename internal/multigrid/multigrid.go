@@ -14,6 +14,7 @@
 package multigrid
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -62,6 +63,10 @@ type Config struct {
 	// (smoothing or coarsest solve) within each cycle. Nil disables
 	// tracing at zero cost.
 	Trace obs.Tracer
+	// Ctx, when non-nil, is checked at every cycle boundary: a canceled or
+	// expired context stops the solve within one cycle and Solve returns a
+	// partial-progress error wrapping ctx.Err(). Nil never cancels.
+	Ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -277,6 +282,12 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 	endSpan := obs.StartSpan(s.cfg.Trace, "multigrid")
 	defer endSpan()
 	for c := 1; c <= s.cfg.MaxCycles; c++ {
+		if s.cfg.Ctx != nil {
+			if cerr := s.cfg.Ctx.Err(); cerr != nil {
+				return Result{}, fmt.Errorf("multigrid: solve stopped after %d of %d cycles (residual %.3e): %w",
+					res.Cycles, s.cfg.MaxCycles, res.Residual, cerr)
+			}
+		}
 		s.curCycle = c
 		x, err = s.cycle(0, s.p, x)
 		if err != nil {

@@ -184,3 +184,33 @@ func TestSnapshotWriters(t *testing.T) {
 		t.Errorf("json snapshot missing counter: %s", js.String())
 	}
 }
+
+// TestSnapshotJSONMatchesWriteJSON pins the byte-level contract the
+// cdrserved /metrics endpoint relies on: SnapshotJSON is exactly what
+// Snapshot().WriteJSON writes.
+func TestSnapshotJSONMatchesWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve.solves").Add(3)
+	reg.Gauge("serve.cache_entries").Set(2)
+	reg.Timer("serve.solve").Observe(5 * time.Millisecond)
+
+	got, err := reg.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("SnapshotJSON diverges from WriteJSON:\n%s\nvs\n%s", got, want.Bytes())
+	}
+
+	nilGot, err := (*Registry)(nil).SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(nilGot), "{") {
+		t.Errorf("nil registry snapshot: %q", nilGot)
+	}
+}

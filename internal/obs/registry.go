@@ -277,6 +277,19 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	return enc.Encode(s)
 }
 
+// SnapshotJSON returns the current snapshot as one newline-terminated JSON
+// object — byte-identical to what Snapshot().WriteJSON would produce
+// (encoding/json sorts map keys, so the bytes are deterministic for a
+// given metric state). cdrserved's /metrics endpoint serves exactly these
+// bytes. A nil registry yields an empty snapshot object.
+func (r *Registry) SnapshotJSON() ([]byte, error) {
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
 func maxKeyLen[V any](m map[string]V) int {
 	n := 0
 	for k := range m {

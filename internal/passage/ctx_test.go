@@ -1,0 +1,38 @@
+package passage
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cdrstoch/internal/spmat"
+)
+
+func TestHittingTimesIterativeHonorsContext(t *testing.T) {
+	// Lazy cycle with a single target state; long hitting times force many
+	// sweeps, but the pre-canceled context must stop the very first one.
+	n := 32
+	tr := spmat.NewTriplet(n, n)
+	for i := 0; i < n; i++ {
+		tr.Add(i, i, 0.5)
+		tr.Add(i, (i+1)%n, 0.5)
+	}
+	p := tr.ToCSR()
+	target := make([]bool, n)
+	target[0] = true
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := HittingTimesIterative(p, target, IterOptions{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// Nil context still converges.
+	times, ok, err := HittingTimesIterative(p, target, IterOptions{})
+	if err != nil || !ok {
+		t.Fatalf("nil-context solve failed: ok=%v err=%v", ok, err)
+	}
+	if times[0] != 0 || times[1] <= 0 {
+		t.Errorf("unexpected hitting times: %v", times[:2])
+	}
+}

@@ -8,6 +8,7 @@
 package passage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -90,6 +91,10 @@ type IterOptions struct {
 	// sweep whose Residual field carries the max relative update. Nil
 	// disables tracing at zero cost.
 	Trace obs.Tracer
+	// Ctx, when non-nil, is checked at every sweep boundary: a canceled or
+	// expired context stops the solve with a partial-progress error
+	// wrapping ctx.Err(). Nil never cancels.
+	Ctx context.Context
 }
 
 func (o IterOptions) withDefaults() IterOptions {
@@ -127,6 +132,11 @@ func HittingTimesIterative(p *spmat.CSR, target []bool, opt IterOptions) ([]floa
 	endSpan := obs.StartSpan(opt.Trace, "hitting-gs")
 	defer endSpan()
 	for it := 0; it < opt.MaxIter; it++ {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				return t, false, fmt.Errorf("passage: hitting-time solve stopped after %d sweeps: %w", it, err)
+			}
+		}
 		maxRel := 0.0
 		for i := 0; i < n; i++ {
 			if target[i] {

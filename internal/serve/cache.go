@@ -1,0 +1,97 @@
+// Package serve turns the analysis engine into a long-running HTTP
+// service: a content-addressed result cache keyed by spec hashes
+// (internal/serve/speckey), singleflight deduplication so concurrent
+// identical requests solve once, a bounded job queue with backpressure,
+// and HTTP handlers wiring the whole thing to the observability registry.
+//
+// The layering, bottom up:
+//
+//	Cache        LRU over immutable response bodies ([]byte), hit/miss
+//	             counters in the obs registry.
+//	group        singleflight: one in-flight computation per key.
+//	Engine       spec -> response body: cache lookup, singleflight solve
+//	             with a concurrency semaphore, context-aware solvers.
+//	Jobs         bounded queue + worker pool with async job tracking,
+//	             backpressure (ErrQueueFull -> 429) and graceful drain.
+//	Server       HTTP handlers: /v1/analyze, /v1/slip, /v1/sweep,
+//	             /v1/jobs/{id}, /healthz, /metrics.
+package serve
+
+import (
+	"container/list"
+
+	"cdrstoch/internal/obs"
+)
+
+// Cache is a fixed-capacity LRU from string keys to immutable byte
+// slices. Values must never be mutated after put — get returns the stored
+// slice without copying, which is what makes repeated cache hits
+// byte-identical for free. Cache carries no lock of its own: the Engine
+// serializes all access under its mutex.
+type Cache struct {
+	max     int
+	ll      *list.List
+	entries map[string]*list.Element
+	reg     *obs.Registry
+
+	hits, misses, evictions *obs.Counter
+	size                    *obs.Gauge
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache returns an LRU holding at most max entries (min 1). reg may be
+// nil; counters then vanish into the obs no-op path.
+func NewCache(max int, reg *obs.Registry) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{
+		max:       max,
+		ll:        list.New(),
+		entries:   make(map[string]*list.Element),
+		reg:       reg,
+		hits:      reg.Counter("serve.cache_hits"),
+		misses:    reg.Counter("serve.cache_misses"),
+		evictions: reg.Counter("serve.cache_evictions"),
+		size:      reg.Gauge("serve.cache_entries"),
+	}
+}
+
+// get returns the cached body for key and whether it was present, marking
+// the entry most recently used. Callers hold the Engine lock.
+func (c *Cache) get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least recently used entry when
+// over capacity. Callers hold the Engine lock.
+func (c *Cache) put(key string, body []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	el := c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.entries[key] = el
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.size.Set(float64(c.ll.Len()))
+}
+
+// len reports the current entry count. Callers hold the Engine lock.
+func (c *Cache) len() int { return c.ll.Len() }

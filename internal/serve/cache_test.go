@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"cdrstoch/internal/obs"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(2, reg)
+	c.put("a", []byte("A"))
+	c.put("b", []byte("B"))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", []byte("C"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a was touched and must survive")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c was just inserted and must survive")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.cache_evictions"]; got != 1 {
+		t.Errorf("evictions counter = %d, want 1", got)
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d, want 2", c.len())
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := NewCache(2, nil)
+	c.put("k", []byte("v1"))
+	c.put("k", []byte("v2"))
+	body, ok := c.get("k")
+	if !ok || string(body) != "v2" {
+		t.Errorf("get after update = %q, %v; want v2, true", body, ok)
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want 1", c.len())
+	}
+}
+
+func TestCacheCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(8, reg)
+	for i := 0; i < 3; i++ {
+		c.get("missing")
+	}
+	c.put("k", []byte("v"))
+	for i := 0; i < 5; i++ {
+		c.get("k")
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["serve.cache_misses"]; got != 3 {
+		t.Errorf("misses = %d, want 3", got)
+	}
+	if got := snap.Counters["serve.cache_hits"]; got != 5 {
+		t.Errorf("hits = %d, want 5", got)
+	}
+}
+
+func TestCacheMinCapacity(t *testing.T) {
+	c := NewCache(0, nil)
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.len() != 1 {
+		t.Errorf("len = %d, want capacity clamp to 1", c.len())
+	}
+}

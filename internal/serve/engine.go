@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+	"cdrstoch/internal/multigrid"
+	"cdrstoch/internal/obs"
+	"cdrstoch/internal/serve/speckey"
+)
+
+// ErrBadRequest marks client errors (invalid specs, unknown sweep
+// parameters); the HTTP layer maps it to 400 instead of 500.
+var ErrBadRequest = errors.New("bad request")
+
+func badRequestf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// EngineConfig parameterizes an Engine.
+type EngineConfig struct {
+	// CacheEntries bounds the result cache. Default 256.
+	CacheEntries int
+	// MaxConcurrent bounds the number of simultaneous solves across all
+	// requests (sweep fan-out included). Default 4.
+	MaxConcurrent int
+	// Multigrid overrides the stationary solver configuration; its Ctx and
+	// Trace fields are overwritten per request. The zero value selects
+	// core.SolveOptions' robust defaults.
+	Multigrid multigrid.Config
+	// Registry receives the serve.* metrics. May be nil (no-op).
+	Registry *obs.Registry
+	// Tracer receives solver events (multigrid spans, per-cycle
+	// residuals) for every cache-miss solve. Cache hits emit nothing —
+	// that silence is the observable proof a response came from the cache.
+	Tracer obs.Tracer
+}
+
+// Engine maps specs to immutable response bodies: content-addressed cache
+// in front, singleflight dedup and a solve-concurrency semaphore behind.
+// All methods are safe for concurrent use.
+type Engine struct {
+	cfg EngineConfig
+	reg *obs.Registry
+
+	mu    sync.Mutex // guards cache
+	cache *Cache
+
+	sf  group
+	sem chan struct{}
+}
+
+// NewEngine returns a ready Engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	return &Engine{
+		cfg:   cfg,
+		reg:   cfg.Registry,
+		cache: NewCache(cfg.CacheEntries, cfg.Registry),
+		sem:   make(chan struct{}, cfg.MaxConcurrent),
+	}
+}
+
+// fptr boxes a float for JSON, mapping non-finite values to null (JSON
+// has no Inf/NaN; an infinite mean time between slips means "no slips
+// observed at stationarity").
+func fptr(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+// SlipBody is the slip-statistics section shared by responses.
+type SlipBody struct {
+	// Flux is the stationary entry probability per bit into the slip set.
+	Flux float64 `json:"flux"`
+	// OutsideMass and TargetMass split the stationary mass around the set.
+	OutsideMass float64 `json:"outside_mass"`
+	TargetMass  float64 `json:"target_mass"`
+	// MeanTimeBetween is the conditional renewal estimate in bit periods;
+	// null when no slip flux exists.
+	MeanTimeBetween *float64 `json:"mean_time_between_bits"`
+	// WrapRate and WrapMeanTimeBetween report the exact boundary-crossing
+	// slip measure of WrapPhase models; omitted otherwise.
+	WrapRate            *float64 `json:"wrap_rate,omitempty"`
+	WrapMeanTimeBetween *float64 `json:"wrap_mean_time_between_bits,omitempty"`
+}
+
+// AnalyzeBody is the response body of /v1/analyze (and of each sweep
+// point). Bodies are cached as bytes, so identical specs always yield
+// byte-identical responses.
+type AnalyzeBody struct {
+	SpecKey   string   `json:"spec_key"`
+	States    int      `json:"states"`
+	BER       float64  `json:"ber"`
+	Converged bool     `json:"converged"`
+	Cycles    int      `json:"cycles"`
+	Residual  float64  `json:"residual"`
+	SolveMS   float64  `json:"solve_ms"` // wall clock of the original solve
+	Slip      SlipBody `json:"slip"`
+}
+
+// cacheGet consults the cache under the engine lock.
+func (e *Engine) cacheGet(key string) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.get(key)
+}
+
+// cachePut stores a finished body under the engine lock.
+func (e *Engine) cachePut(key string, body []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache.put(key, body)
+}
+
+// acquire takes a solve slot, honoring ctx while queueing.
+func (e *Engine) acquire(ctx context.Context) error {
+	select {
+	case e.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: queued for a solve slot: %w", ctx.Err())
+	}
+}
+
+func (e *Engine) release() { <-e.sem }
+
+// cached wraps the cache + singleflight + solve pipeline shared by all
+// endpoints. compute must be a pure function of the key. The flight runs
+// under the initiating request's context; a waiter whose own context is
+// still live retries when the leader's context dies, becoming the new
+// leader, so one impatient client cannot poison the result for others.
+func (e *Engine) cached(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, bool, error) {
+	if body, ok := e.cacheGet(key); ok {
+		return body, true, nil
+	}
+	for {
+		body, shared, err := e.sf.do(key, func() ([]byte, error) {
+			// Double-check under singleflight: another flight may have
+			// completed between the miss above and this call.
+			if body, ok := e.cacheGet(key); ok {
+				return body, nil
+			}
+			body, err := compute(ctx)
+			if err != nil {
+				return nil, err
+			}
+			e.cachePut(key, body)
+			return body, nil
+		})
+		if shared {
+			e.reg.Counter("serve.singleflight_shared").Inc()
+			if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
+				continue // leader canceled, we did not: retry as leader
+			}
+		}
+		return body, shared && err == nil, err
+	}
+}
+
+// validate hashes and validates a spec, mapping both failure modes to
+// ErrBadRequest.
+func validate(spec core.Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", badRequestf("invalid spec: %v", err)
+	}
+	h, err := speckey.Hash(spec)
+	if err != nil {
+		return "", badRequestf("unhashable spec: %v", err)
+	}
+	return h, nil
+}
+
+// solve builds the model and runs the stationary analysis under ctx.
+func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.Model, *core.Analysis, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, nil, err
+	}
+	defer e.release()
+	defer e.reg.Timer("serve.solve").Time()()
+	e.reg.Counter("serve.solves").Inc()
+
+	m, err := core.Build(spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: build %s: %w", key[:12], err)
+	}
+	mg := e.cfg.Multigrid
+	mg.Ctx = ctx
+	mg.Trace = e.cfg.Tracer
+	a, err := m.Solve(core.SolveOptions{Multigrid: mg})
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: solve %s: %w", key[:12], err)
+	}
+	e.reg.Counter("serve.solver_cycles").Add(int64(a.Multigrid.Cycles))
+	return m, a, nil
+}
+
+func slipBody(m *core.Model, a *core.Analysis) (SlipBody, error) {
+	flux, err := m.SlipStats(a.Pi)
+	if err != nil {
+		return SlipBody{}, err
+	}
+	out := SlipBody{
+		Flux:            flux.Flux,
+		OutsideMass:     flux.OutsideMass,
+		TargetMass:      flux.TargetMass,
+		MeanTimeBetween: fptr(flux.MeanTimeBetween),
+	}
+	if m.Spec.WrapPhase {
+		rate, mtbs, err := m.WrapSlipRate(a.Pi)
+		if err != nil {
+			return SlipBody{}, err
+		}
+		out.WrapRate = fptr(rate)
+		out.WrapMeanTimeBetween = fptr(mtbs)
+	}
+	return out, nil
+}
+
+// Analyze returns the stationary + BER body for spec, reporting whether
+// it was served from cache.
+func (e *Engine) Analyze(ctx context.Context, spec core.Spec) ([]byte, bool, error) {
+	h, err := validate(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	return e.cached(ctx, "analyze:"+h, func(ctx context.Context) ([]byte, error) {
+		start := time.Now()
+		m, a, err := e.solve(ctx, spec, h)
+		if err != nil {
+			return nil, err
+		}
+		slip, err := slipBody(m, a)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(AnalyzeBody{
+			SpecKey:   h,
+			States:    m.NumStates(),
+			BER:       a.BER,
+			Converged: a.Multigrid.Converged,
+			Cycles:    a.Multigrid.Cycles,
+			Residual:  a.Multigrid.Residual,
+			SolveMS:   float64(time.Since(start).Microseconds()) / 1000,
+			Slip:      slip,
+		})
+	})
+}
+
+// SlipResponse is the body of /v1/slip: the slip measures plus the
+// quasi-stationary hazard of the conditioned loop.
+type SlipResponse struct {
+	SpecKey string   `json:"spec_key"`
+	States  int      `json:"states"`
+	Slip    SlipBody `json:"slip"`
+	// HazardPerBit is the asymptotic slip hazard of the quasi-stationary
+	// regime; ConditionedBER the error rate conditioned on never slipping.
+	HazardPerBit   *float64 `json:"hazard_per_bit,omitempty"`
+	ConditionedBER *float64 `json:"conditioned_ber,omitempty"`
+}
+
+// Slip returns the cycle-slip body for spec.
+func (e *Engine) Slip(ctx context.Context, spec core.Spec) ([]byte, bool, error) {
+	h, err := validate(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	return e.cached(ctx, "slip:"+h, func(ctx context.Context) ([]byte, error) {
+		m, a, err := e.solve(ctx, spec, h)
+		if err != nil {
+			return nil, err
+		}
+		slip, err := slipBody(m, a)
+		if err != nil {
+			return nil, err
+		}
+		body := SlipResponse{SpecKey: h, States: m.NumStates(), Slip: slip}
+		// The quasi-stationary refinement only exists when the slip set is
+		// nonempty and reachable; degrade gracefully when it is not.
+		if qs, err := m.SlipQuasiStationary(); err == nil {
+			body.HazardPerBit = fptr(qs.HazardPerStep)
+			body.ConditionedBER = fptr(m.BER(qs.Nu))
+		}
+		return json.Marshal(body)
+	})
+}
+
+// SweepPoint is one member of a sweep family.
+type SweepPoint struct {
+	Value  float64         `json:"value"`
+	Cached bool            `json:"cached"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// SweepBody is the response body of /v1/sweep.
+type SweepBody struct {
+	Param  string       `json:"param"`
+	Points []SweepPoint `json:"points"`
+}
+
+// maxSweepValues bounds a sweep request; larger families should be split
+// by the client (each point is cached, so splitting costs nothing).
+const maxSweepValues = 256
+
+// applySweepParam derives the spec of one sweep point.
+func applySweepParam(base core.Spec, param string, v float64) (core.Spec, error) {
+	s := base
+	switch param {
+	case "counter":
+		n := int(v)
+		if float64(n) != v || n < 1 {
+			return s, badRequestf("counter value %g is not a positive integer", v)
+		}
+		s.CounterLen = n
+	case "stdnw":
+		if v <= 0 {
+			return s, badRequestf("stdnw value %g must be positive", v)
+		}
+		s.EyeJitter = dist.NewGaussian(0, v)
+	case "density":
+		s.TransitionDensity = v
+	case "threshold":
+		s.Threshold = v
+	default:
+		return s, badRequestf("unknown sweep param %q (want counter, stdnw, density or threshold)", param)
+	}
+	return s, nil
+}
+
+// Sweep fans a parameter family out over the engine's bounded solve pool
+// and assembles the per-point analyze bodies in request order. Individual
+// point failures are reported in place; only request-level errors (bad
+// param, empty family, canceled context) fail the whole sweep.
+func (e *Engine) Sweep(ctx context.Context, base core.Spec, param string, values []float64) ([]byte, error) {
+	if len(values) == 0 {
+		return nil, badRequestf("sweep needs at least one value")
+	}
+	if len(values) > maxSweepValues {
+		return nil, badRequestf("sweep of %d values exceeds the limit of %d", len(values), maxSweepValues)
+	}
+	if _, err := applySweepParam(base, param, values[0]); err != nil {
+		return nil, err // reject unknown params before spawning anything
+	}
+	points := make([]SweepPoint, len(values))
+	var wg sync.WaitGroup
+	for i, v := range values {
+		wg.Add(1)
+		go func(i int, v float64) {
+			defer wg.Done()
+			points[i] = SweepPoint{Value: v}
+			spec, err := applySweepParam(base, param, v)
+			if err == nil {
+				err = spec.Validate()
+			}
+			if err != nil {
+				points[i].Error = err.Error()
+				return
+			}
+			body, cached, err := e.Analyze(ctx, spec)
+			if err != nil {
+				points[i].Error = err.Error()
+				return
+			}
+			points[i].Cached = cached
+			points[i].Result = body
+		}(i, v)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serve: sweep stopped: %w", err)
+	}
+	return json.Marshal(SweepBody{Param: param, Points: points})
+}
+
+// CacheLen reports the number of cached bodies (for tests and /healthz).
+func (e *Engine) CacheLen() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cache.len()
+}

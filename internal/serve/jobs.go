@@ -1,0 +1,204 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cdrstoch/internal/obs"
+)
+
+// ErrQueueFull reports that the job queue rejected a submission; the HTTP
+// layer maps it to 429 with a Retry-After hint.
+var ErrQueueFull = errors.New("serve: job queue full")
+
+// ErrShuttingDown reports a submission after Close began draining.
+var ErrShuttingDown = errors.New("serve: shutting down")
+
+// Job statuses, in lifecycle order.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// JobView is the poll response of /v1/jobs/{id}. Result is present only
+// once Status is "done".
+type JobView struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"`
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// job is the internal record behind a JobView.
+type job struct {
+	id  string
+	run func(context.Context) ([]byte, bool, error)
+
+	mu     sync.Mutex
+	status string
+	cached bool
+	err    string
+	body   []byte
+}
+
+func (j *job) view() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobView{ID: j.id, Status: j.status, Cached: j.cached, Error: j.err, Result: j.body}
+}
+
+func (j *job) set(status string, body []byte, cached bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.status = status
+	j.body = body
+	j.cached = cached
+	if err != nil {
+		j.err = err.Error()
+	}
+}
+
+// maxFinishedJobs bounds how many completed job records are retained for
+// polling; beyond it the oldest finished records are dropped and polls
+// for them return 404.
+const maxFinishedJobs = 1024
+
+// Jobs is a bounded asynchronous work queue: Submit enqueues with
+// backpressure, a fixed worker pool drains, finished results stay
+// pollable until evicted. Close drains gracefully — queued jobs still
+// run; new submissions are refused.
+type Jobs struct {
+	queue chan *job
+	wg    sync.WaitGroup
+	reg   *obs.Registry
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // eviction order for completed records
+	seq      int
+	closed   bool
+}
+
+// NewJobs starts a pool of workers consuming a queue of the given depth.
+// Jobs run under a context canceled only by CancelAll — a disconnected
+// submitter must not kill a job another poller may still want.
+func NewJobs(workers, depth int, reg *obs.Registry) *Jobs {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Jobs{
+		queue:   make(chan *job, depth),
+		reg:     reg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+	}
+	j.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go j.worker()
+	}
+	return j
+}
+
+func (j *Jobs) worker() {
+	defer j.wg.Done()
+	for t := range j.queue {
+		j.reg.Gauge("serve.jobs_queued").Set(float64(len(j.queue)))
+		t.set(StatusRunning, nil, false, nil)
+		body, cached, err := t.run(j.baseCtx)
+		switch {
+		case err == nil:
+			t.set(StatusDone, body, cached, nil)
+			j.reg.Counter("serve.jobs_done").Inc()
+		case errors.Is(err, context.Canceled):
+			t.set(StatusCanceled, nil, false, err)
+			j.reg.Counter("serve.jobs_canceled").Inc()
+		default:
+			t.set(StatusFailed, nil, false, err)
+			j.reg.Counter("serve.jobs_failed").Inc()
+		}
+		j.retire(t.id)
+	}
+}
+
+// retire records a finished job for eviction accounting.
+func (j *Jobs) retire(id string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = append(j.finished, id)
+	for len(j.finished) > maxFinishedJobs {
+		delete(j.jobs, j.finished[0])
+		j.finished = j.finished[1:]
+	}
+}
+
+// Submit enqueues run for asynchronous execution and returns the job ID.
+// A full queue returns ErrQueueFull immediately (never blocks): that
+// backpressure is the contract that keeps the daemon responsive.
+func (j *Jobs) Submit(run func(context.Context) ([]byte, bool, error)) (string, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return "", ErrShuttingDown
+	}
+	j.seq++
+	t := &job{id: fmt.Sprintf("job-%06d", j.seq), run: run, status: StatusQueued}
+	j.jobs[t.id] = t
+	j.mu.Unlock()
+
+	select {
+	case j.queue <- t:
+		j.reg.Counter("serve.jobs_submitted").Inc()
+		j.reg.Gauge("serve.jobs_queued").Set(float64(len(j.queue)))
+		return t.id, nil
+	default:
+		j.mu.Lock()
+		delete(j.jobs, t.id)
+		j.mu.Unlock()
+		j.reg.Counter("serve.jobs_rejected").Inc()
+		return "", ErrQueueFull
+	}
+}
+
+// Get returns the current view of a job, if it is still retained.
+func (j *Jobs) Get(id string) (JobView, bool) {
+	j.mu.Lock()
+	t, ok := j.jobs[id]
+	j.mu.Unlock()
+	if !ok {
+		return JobView{}, false
+	}
+	return t.view(), true
+}
+
+// Close refuses new submissions, lets queued jobs drain, and returns when
+// every worker has exited. Safe to call once.
+func (j *Jobs) Close() {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.queue)
+	j.wg.Wait()
+}
+
+// CancelAll aborts running jobs by canceling their shared context. Meant
+// for hard shutdown after a drain deadline passes.
+func (j *Jobs) CancelAll() { j.cancel() }

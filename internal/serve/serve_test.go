@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+// testSpec returns a deliberately small model (3 data × 3 counter × 17
+// phase = 153 states) that solves in milliseconds, keeping the service
+// tests fast.
+func testSpec(t *testing.T) core.Spec {
+	t.Helper()
+	h := 1.0 / 16
+	drift, err := dist.DriftPMF(dist.DriftSpec{Step: h, Max: 2 * h, Mean: h / 4, Shape: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Spec{
+		GridStep:          h,
+		PhaseMax:          0.5,
+		CorrectionStep:    2 * h,
+		TransitionDensity: 0.5,
+		MaxRunLength:      3,
+		EyeJitter:         dist.NewGaussian(0, 0.05),
+		Drift:             drift,
+		CounterLen:        2,
+		Threshold:         0.5,
+	}
+}
+
+// testSpecVariants returns distinct valid specs for mixed-load tests.
+func testSpecVariants(t *testing.T) []core.Spec {
+	t.Helper()
+	base := testSpec(t)
+	out := make([]core.Spec, 4)
+	for i := range out {
+		out[i] = base
+	}
+	out[1].CounterLen = 1
+	out[2].TransitionDensity = 0.4
+	out[3].EyeJitter = dist.NewGaussian(0, 0.03)
+	return out
+}

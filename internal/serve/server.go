@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/obs"
+)
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// Engine configures the solve/cache layer. Its Registry and Tracer
+	// default to the server-level ones when unset.
+	Engine EngineConfig
+	// Workers is the async job worker count. Default 2.
+	Workers int
+	// QueueDepth bounds the async queue; a full queue answers 429.
+	// Default 8.
+	QueueDepth int
+	// SyncTimeout caps synchronous request handling. Solves that exceed it
+	// are canceled at the next solver iteration boundary and the request
+	// answers 504. Default 120s.
+	SyncTimeout time.Duration
+	// MaxBodyBytes caps request bodies. Default 1 MiB.
+	MaxBodyBytes int64
+	// Registry receives all serve.* and http metrics; also the body of
+	// /metrics. May be nil.
+	Registry *obs.Registry
+	// Tracer receives solver events for cache-miss solves. May be nil.
+	Tracer obs.Tracer
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 120 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Engine.Registry == nil {
+		c.Engine.Registry = c.Registry
+	}
+	if c.Engine.Tracer == nil {
+		c.Engine.Tracer = c.Tracer
+	}
+	return c
+}
+
+// Server wires the Engine and the Jobs queue to HTTP. Construct with
+// NewServer, mount Handler on an http.Server, and Close during shutdown
+// (after http.Server.Shutdown) to drain queued jobs.
+type Server struct {
+	cfg    ServerConfig
+	engine *Engine
+	jobs   *Jobs
+	reg    *obs.Registry
+}
+
+// NewServer returns a ready Server.
+func NewServer(cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		engine: NewEngine(cfg.Engine),
+		reg:    cfg.Registry,
+		jobs:   NewJobs(cfg.Workers, cfg.QueueDepth, cfg.Registry),
+	}
+}
+
+// Engine exposes the underlying engine (tests, warm-up solves).
+func (s *Server) Engine() *Engine { return s.engine }
+
+// Close drains the async queue: queued jobs still run, new submissions
+// are refused. Call after the http.Server has stopped accepting.
+func (s *Server) Close() { s.jobs.Close() }
+
+// CancelJobs aborts running jobs; for hard shutdown after a drain
+// deadline.
+func (s *Server) CancelJobs() { s.jobs.CancelAll() }
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", s.handleSolve("analyze", s.engine.Analyze))
+	mux.HandleFunc("POST /v1/slip", s.handleSolve("slip", s.engine.Slip))
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// errorBody is the uniform error response shape.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+// writeError maps engine errors onto HTTP statuses: client errors to 400,
+// deadline overruns to 504, client disconnects to 499 (nginx's
+// convention; the client is gone either way), everything else to 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		code = http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		code = 499
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrShuttingDown):
+		code = http.StatusServiceUnavailable
+	}
+	s.reg.Counter(fmt.Sprintf("serve.http_%d", code)).Inc()
+	s.writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// writeBody emits a finished engine body, labeling cache disposition.
+func (s *Server) writeBody(w http.ResponseWriter, body []byte, cached bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	s.reg.Counter("serve.http_200").Inc()
+	w.Write(append(body, '\n'))
+}
+
+// solveRequest is the envelope of /v1/analyze and /v1/slip.
+type solveRequest struct {
+	Spec core.Spec `json:"spec"`
+	// Async enqueues the solve and answers 202 with a job ID for
+	// /v1/jobs/{id} polling instead of blocking.
+	Async bool `json:"async"`
+}
+
+// decode parses a request envelope into v, enforcing the body cap.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return badRequestf("decoding body: %v", err)
+	}
+	return nil
+}
+
+// enqueue submits an async job and answers 202 (or 429/503).
+func (s *Server) enqueue(w http.ResponseWriter, run func(context.Context) ([]byte, bool, error)) {
+	id, err := s.jobs.Submit(run)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.reg.Counter("serve.http_202").Inc()
+	s.writeJSON(w, http.StatusAccepted, JobView{ID: id, Status: StatusQueued})
+}
+
+// handleSolve serves the shared analyze/slip shape: decode, validate,
+// then either enqueue (async) or solve under the request deadline.
+func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec) ([]byte, bool, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		defer s.reg.Timer("serve.http_" + name).Time()()
+		var req solveRequest
+		if err := s.decode(w, r, &req); err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if err := req.Spec.Validate(); err != nil {
+			s.writeError(w, badRequestf("invalid spec: %v", err))
+			return
+		}
+		if req.Async {
+			spec := req.Spec
+			s.enqueue(w, func(ctx context.Context) ([]byte, bool, error) {
+				return solve(ctx, spec)
+			})
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncTimeout)
+		defer cancel()
+		body, cached, err := solve(ctx, req.Spec)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		s.writeBody(w, body, cached)
+	}
+}
+
+// sweepRequest is the envelope of /v1/sweep.
+type sweepRequest struct {
+	Spec   core.Spec `json:"spec"`
+	Param  string    `json:"param"`
+	Values []float64 `json:"values"`
+	Async  bool      `json:"async"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	defer s.reg.Timer("serve.http_sweep").Time()()
+	var req sweepRequest
+	if err := s.decode(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		s.writeError(w, badRequestf("invalid spec: %v", err))
+		return
+	}
+	if req.Async {
+		s.enqueue(w, func(ctx context.Context) ([]byte, bool, error) {
+			body, err := s.engine.Sweep(ctx, req.Spec, req.Param, req.Values)
+			return body, false, err
+		})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncTimeout)
+	defer cancel()
+	body, err := s.engine.Sweep(ctx, req.Spec, req.Param, req.Values)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.writeBody(w, body, false)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or evicted job"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, view)
+}
+
+// healthBody is the /healthz response.
+type healthBody struct {
+	Status       string `json:"status"`
+	CacheEntries int    `json:"cache_entries"`
+	QueueLength  int    `json:"queue_length"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthBody{
+		Status:       "ok",
+		CacheEntries: s.engine.CacheLen(),
+		QueueLength:  len(s.jobs.queue),
+	})
+}
+
+// handleMetrics serves the obs registry snapshot — byte-identical to
+// Registry.SnapshotJSON, which tests pin.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := s.reg.SnapshotJSON()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}

@@ -1,0 +1,59 @@
+package serve
+
+import "sync"
+
+// call is one in-flight computation shared by every waiter on a key.
+type call struct {
+	done    chan struct{}
+	body    []byte
+	err     error
+	waiters int // extra callers that joined this flight (guarded by group.mu)
+}
+
+// group coalesces concurrent computations by key: the first caller runs
+// fn, later callers with the same key block on the same result. Unlike
+// golang.org/x/sync/singleflight (which the module deliberately does not
+// depend on) the flight is forgotten as soon as it completes — subsequent
+// callers consult the result cache instead, so a completed flight never
+// pins a stale value.
+type group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// do runs fn once per key among concurrent callers. It reports the body,
+// whether this caller shared another caller's flight, and fn's error.
+func (g *group) do(key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		<-c.done
+		return c.body, true, c.err
+	}
+	c := &call{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, false, c.err
+}
+
+// joined reports how many extra callers are sharing the flight on key;
+// test instrumentation.
+func (g *group) joined(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.m[key]; ok {
+		return c.waiters
+	}
+	return 0
+}

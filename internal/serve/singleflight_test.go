@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupDedupesConcurrentCalls(t *testing.T) {
+	var g group
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		body, shared, err := g.do("k", func() ([]byte, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return []byte("result"), nil
+		})
+		if err != nil || shared || string(body) != "result" {
+			t.Errorf("leader: body=%q shared=%v err=%v", body, shared, err)
+		}
+	}()
+	<-started // the flight is now registered; joiners must coalesce
+
+	const waiters = 7
+	var wg sync.WaitGroup
+	results := make([]bool, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, shared, err := g.do("k", func() ([]byte, error) {
+				calls.Add(1)
+				return []byte("wrong"), nil
+			})
+			if err != nil || string(body) != "result" {
+				t.Errorf("waiter %d: body=%q err=%v", i, body, err)
+			}
+			results[i] = shared
+		}(i)
+	}
+	// Release only once every waiter has joined the flight — otherwise a
+	// late waiter would find the flight forgotten and lead its own.
+	for g.joined("k") < waiters {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want exactly 1", n)
+	}
+	for i, shared := range results {
+		if !shared {
+			t.Errorf("waiter %d did not share the leader's flight", i)
+		}
+	}
+}
+
+func TestGroupForgetsCompletedFlights(t *testing.T) {
+	var g group
+	var calls atomic.Int64
+	run := func() ([]byte, error) {
+		calls.Add(1)
+		return []byte("x"), nil
+	}
+	if _, _, err := g.do("k", run); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.do("k", run); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("sequential calls ran fn %d times, want 2 (flights are forgotten)", n)
+	}
+}
+
+func TestGroupDistinctKeysRunIndependently(t *testing.T) {
+	var g group
+	a, _, _ := g.do("a", func() ([]byte, error) { return []byte("A"), nil })
+	b, _, _ := g.do("b", func() ([]byte, error) { return []byte("B"), nil })
+	if string(a) != "A" || string(b) != "B" {
+		t.Errorf("got %q, %q", a, b)
+	}
+}

@@ -1,0 +1,38 @@
+// Package speckey derives content-addressed cache keys for CDR analysis
+// results. The performance measures the service computes (stationary BER,
+// slip statistics, sweep families) are pure functions of core.Spec, so a
+// collision-resistant hash of the spec's canonical encoding identifies a
+// result completely: two requests with the same key may share one solve
+// and one cached body.
+//
+// Canonicality is inherited from core.Spec's MarshalJSON: struct-driven
+// field order, no maps, shortest-round-trip float formatting. The hash is
+// therefore a pure function of the spec value. It is deliberately
+// conservative: two specs that are mathematically equivalent but
+// represented differently (say, a drift PMF carrying an explicit zero
+// tail) hash differently and merely miss the cache — never the reverse.
+package speckey
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"cdrstoch/internal/core"
+)
+
+// Canonical returns the canonical serialization of the spec — the exact
+// bytes that Hash digests. It fails only for jitter laws outside
+// internal/dist, which cannot arrive through the service API.
+func Canonical(s core.Spec) ([]byte, error) {
+	return s.MarshalJSON()
+}
+
+// Hash returns the lowercase hex SHA-256 of the canonical serialization.
+func Hash(s core.Spec) (string, error) {
+	b, err := Canonical(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,78 @@
+package speckey
+
+import (
+	"encoding/json"
+	"testing"
+
+	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a, err := Hash(core.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Hash(core.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical specs hash differently: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Errorf("want 64 hex chars, got %d", len(a))
+	}
+}
+
+func TestHashSeparatesSpecs(t *testing.T) {
+	base := core.DefaultSpec()
+	h0, err := Hash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*core.Spec){
+		func(s *core.Spec) { s.CounterLen = 4 },
+		func(s *core.Spec) { s.EyeJitter = dist.NewGaussian(0, 0.03) },
+		func(s *core.Spec) { s.TransitionDensity = 0.4 },
+		func(s *core.Spec) { s.PDDeadZone = 0.01 },
+	}
+	seen := map[string]bool{h0: true}
+	for i, mutate := range variants {
+		s := core.DefaultSpec()
+		mutate(&s)
+		h, err := Hash(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[h] {
+			t.Errorf("variant %d collides with an earlier hash", i)
+		}
+		seen[h] = true
+	}
+}
+
+// TestHashStableAcrossDecode pins the property the service relies on:
+// decoding is deterministic, so two requests carrying the same body bytes
+// always map to the same cache key.
+func TestHashStableAcrossDecode(t *testing.T) {
+	s := core.DefaultSpec()
+	b, err := Canonical(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := make([]string, 2)
+	for i := range hashes {
+		var back core.Spec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatal(err)
+		}
+		hashes[i], err = Hash(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hashes[0] != hashes[1] {
+		t.Errorf("same request bytes produced different keys: %s vs %s", hashes[0], hashes[1])
+	}
+}
