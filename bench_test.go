@@ -164,6 +164,30 @@ func BenchmarkStationary(b *testing.B) {
 			b.ReportMetric(float64(res.Iterations), "sweeps")
 		}
 	})
+	// The solver loop itself, one power sweep per op on warm buffers: this
+	// is the kernel every iterative solve repeats, and after warmup it must
+	// report 0 allocs/op at any worker-team width.
+	benchSweep := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			pool := spmat.NewPool(workers)
+			defer pool.Close()
+			n := m.NumStates()
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = 1 / float64(n)
+			}
+			pool.VecMul(m.P, y, x) // warm the transpose cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool.VecMul(m.P, y, x)
+				x, y = y, x
+			}
+		}
+	}
+	b.Run("sweep-serial", benchSweep(1))
+	b.Run("sweep-parallel", benchSweep(0))
 }
 
 // BenchmarkSolverScaling shows the paper's scaling claim: multigrid cycle

@@ -27,6 +27,7 @@ func main() {
 	fs := flag.NewFlagSet("cdranalyze", flag.ExitOnError)
 	sf := cliutil.Bind(fs)
 	of := cliutil.BindObs(fs)
+	workers := cliutil.BindWorkers(fs)
 	csv := fs.Bool("csv", false, "emit the phase and phase+n_w density series as CSV")
 	dot := fs.Bool("dot", false, "print the FSM network (Figure 2) in Graphviz dot and exit")
 	slip := fs.Bool("slip", false, "report cycle-slip statistics")
@@ -81,6 +82,7 @@ func main() {
 	panel := &experiments.Panel{Model: model}
 	opt := core.SolveOptions{}
 	opt.Multigrid.Trace = obsrv.Tracer
+	opt.Multigrid.Workers = *workers
 	solveDone := obsrv.Registry.Timer("solve").Time()
 	endSolve := obs.StartSpan(obsrv.Tracer, "cdranalyze.solve")
 	a, err := model.Solve(opt)

@@ -1,0 +1,147 @@
+// Command cdrbench runs the repository's headline benchmarks and writes a
+// BENCH_<git-sha>.json snapshot of ns/op, B/op, allocs/op and the custom
+// benchmark metrics (sweeps, cycles, BER). Committing the snapshot per
+// change builds the performance trajectory of the solvers over time.
+//
+//	go run ./cmd/cdrbench                 # headline set, BENCH_<sha>.json
+//	go run ./cmd/cdrbench -bench '.'      # every top-level benchmark
+//	go run ./cmd/cdrbench -benchtime 5x -out /tmp/snap.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// headline is the default benchmark selection: the solver-loop allocation
+// baseline, the heaviest figure panel, and the grid-refinement scaling.
+const headline = `^(BenchmarkStationary|BenchmarkFig5Counter32|BenchmarkSolverScaling)$`
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// -cpu suffix (e.g. "BenchmarkStationary/power-8").
+	Name string `json:"name"`
+	// Iterations is the b.N the reported averages were taken over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value: "ns/op", "B/op", "allocs/op" and any
+	// b.ReportMetric extras ("sweeps", "cycles", "BER", ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the committed benchmark file.
+type Snapshot struct {
+	// GitSHA is the short commit hash the benchmarks ran on.
+	GitSHA string `json:"git_sha"`
+	// GoVersion and GOMAXPROCS record the toolchain and the parallelism
+	// available to the run — absolute numbers are incomparable without them.
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Bench and Benchtime reproduce the selection.
+	Bench     string   `json:"bench"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", headline, "benchmark selection regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "per-benchmark budget passed to go test -benchtime")
+	out := flag.String("out", "", "output path (default BENCH_<git-sha>.json in the current directory)")
+	flag.Parse()
+
+	sha, err := gitShortSHA()
+	if err != nil {
+		fatal(err)
+	}
+	raw, err := runBenchmarks(*bench, *benchtime)
+	if err != nil {
+		fatal(err)
+	}
+	results := parseBenchOutput(raw)
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines matched %q; output was:\n%s", *bench, raw))
+	}
+	snap := Snapshot{
+		GitSHA:     sha,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		Benchtime:  *benchtime,
+		Results:    results,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", sha)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cdrbench: %d benchmark(s) -> %s\n", len(results), path)
+}
+
+func gitShortSHA() (string, error) {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "", fmt.Errorf("git rev-parse: %w", err)
+	}
+	return strings.TrimSpace(string(out)), nil
+}
+
+// runBenchmarks shells out to the test binary so the snapshot measures
+// exactly what `go test -bench` reports.
+func runBenchmarks(bench, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-benchmem", "-benchtime", benchtime, ".")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go test -bench: %w\n%s", err, buf.String())
+	}
+	return buf.String(), nil
+}
+
+// parseBenchOutput extracts the benchmark result lines from go test output.
+// Each line is "BenchmarkName-8  N  v1 unit1  v2 unit2 ...".
+func parseBenchOutput(out string) []Result {
+	var results []Result
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		n, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: n, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		if len(r.Metrics) > 0 {
+			results = append(results, r)
+		}
+	}
+	return results
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cdrbench:", err)
+	os.Exit(1)
+}

@@ -24,12 +24,15 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "skip the solver-scaling table (the slowest section)")
 	of := cliutil.BindObs(flag.CommandLine)
+	workers := cliutil.BindWorkers(flag.CommandLine)
 	flag.Parse()
 	obsrv, err := of.Setup()
 	if err != nil {
 		check(err)
 	}
 	reg := obsrv.Registry
+	solveOpt := core.SolveOptions{}
+	solveOpt.Multigrid.Workers = *workers
 	start := time.Now()
 
 	fmt.Println("Stochastic Modeling and Performance Evaluation for Digital CDR Circuits")
@@ -52,7 +55,7 @@ func main() {
 	fig4Done := reg.Timer("section.fig4").Time()
 	for _, high := range []bool{false, true} {
 		endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("cdrreport.fig4.high=%v", high))
-		p, err := experiments.RunPanel(experiments.Fig4Spec(high))
+		p, err := experiments.RunPanel(experiments.Fig4Spec(high), solveOpt)
 		endSpan()
 		check(err)
 		reg.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
@@ -64,7 +67,7 @@ func main() {
 
 	section("Figure 5 — BER vs loop-filter counter length (noise fixed)")
 	fig5Done := reg.Timer("section.fig5").Time()
-	points, best, err := experiments.OptimalCounter(experiments.Fig5Spec, []int{1, 2, 4, 8, 16, 32})
+	points, best, err := experiments.OptimalCounter(experiments.Fig5Spec, []int{1, 2, 4, 8, 16, 32}, solveOpt)
 	fig5Done()
 	check(err)
 	fmt.Printf("%-8s %12s %12s\n", "counter", "BER", "vs best")
@@ -95,7 +98,7 @@ func main() {
 
 	section("Introduction — simulation infeasibility at SONET-class BER")
 	mcDone := reg.Timer("section.montecarlo").Time()
-	p, err := experiments.RunPanel(experiments.Fig4Spec(false))
+	p, err := experiments.RunPanel(experiments.Fig4Spec(false), solveOpt)
 	check(err)
 	target := p.Analysis.BER
 	if target < 1e-14 {
@@ -110,7 +113,7 @@ func main() {
 		Trace: obsrv.Tracer, Metrics: reg,
 	}, 0)
 	check(err)
-	hp, err := experiments.RunPanel(experiments.Fig4Spec(true))
+	hp, err := experiments.RunPanel(experiments.Fig4Spec(true), solveOpt)
 	check(err)
 	agree := "inside"
 	if hp.Analysis.BER < mc.CILow || hp.Analysis.BER > mc.CIHigh {

@@ -36,7 +36,7 @@ func main() {
 	app := cliutil.NewObsApp("cdrserved")
 	fs := app.Flags
 	addr := fs.String("addr", "127.0.0.1:8340", "listen address (port 0 picks a free port)")
-	workers := fs.Int("workers", 2, "async job worker count")
+	jobWorkers := fs.Int("job-workers", 2, "async job worker count")
 	queue := fs.Int("queue", 8, "async job queue depth; a full queue answers 429")
 	cacheN := fs.Int("cache", 256, "result cache capacity in entries")
 	conc := fs.Int("concurrent", 4, "maximum simultaneous solves")
@@ -46,8 +46,12 @@ func main() {
 	obsrv := app.Setup()
 
 	srv := serve.NewServer(serve.ServerConfig{
-		Engine:      serve.EngineConfig{CacheEntries: *cacheN, MaxConcurrent: *conc},
-		Workers:     *workers,
+		Engine: serve.EngineConfig{
+			CacheEntries:  *cacheN,
+			MaxConcurrent: *conc,
+			SolveWorkers:  *app.Workers,
+		},
+		Workers:     *jobWorkers,
 		QueueDepth:  *queue,
 		SyncTimeout: *timeout,
 		Registry:    obsrv.Registry,

@@ -24,7 +24,8 @@ func main() {
 	of := cliutil.BindObs(fs)
 	bits := fs.Int64("bits", 1000000, "bit periods to simulate after warmup")
 	seed := fs.Int64("seed", 1, "random seed")
-	workers := fs.Int("workers", 1, "parallel simulation workers (0 = GOMAXPROCS)")
+	workers := fs.Int("workers", 1,
+		"parallel workers for both the Monte Carlo streams and the solver kernels (0 = GOMAXPROCS)")
 	compare := fs.Bool("compare", false, "also run the Markov-chain analysis and compare")
 	budget := fs.Float64("budget-ber", 0, "print the bits needed to resolve this BER at 10% and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
@@ -69,6 +70,7 @@ func main() {
 		}
 		opt := core.SolveOptions{}
 		opt.Multigrid.Trace = obsrv.Tracer
+		opt.Multigrid.Workers = *workers
 		solveDone := obsrv.Registry.Timer("solve").Time()
 		endSolve := obs.StartSpan(obsrv.Tracer, "cdrsim.solve")
 		a, err := m.Solve(opt)

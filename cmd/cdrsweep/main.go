@@ -57,6 +57,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(err)
 	}
+	solveOpt := core.SolveOptions{}
+	solveOpt.Multigrid.Workers = *app.Workers
 
 	unconverged := 0
 	switch *sweep {
@@ -77,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.counter.%d", l))
 			pointDone := obsrv.Registry.Timer("sweep.point").Time()
-			p, err := experiments.RunPanel(spec)
+			p, err := experiments.RunPanel(spec, solveOpt)
 			pointDone()
 			endSpan()
 			if err != nil {
@@ -109,7 +111,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			spec.EyeJitter = dist.NewGaussian(0, sig)
 			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.noise.%g", sig))
 			pointDone := obsrv.Registry.Timer("sweep.point").Time()
-			p, err := experiments.RunPanel(spec)
+			p, err := experiments.RunPanel(spec, solveOpt)
 			pointDone()
 			endSpan()
 			if err != nil {

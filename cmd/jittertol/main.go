@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"cdrstoch/internal/cliutil"
+	"cdrstoch/internal/core"
 	"cdrstoch/internal/experiments"
 	"cdrstoch/internal/obs"
 )
@@ -32,6 +33,8 @@ func main() {
 	app.Parse(os.Args[1:])
 
 	obsrv := app.Setup()
+	solveOpt := core.SolveOptions{}
+	solveOpt.Multigrid.Workers = *app.Workers
 
 	var slot experiments.SJSlot
 	switch *slotName {
@@ -69,11 +72,11 @@ func main() {
 		}
 		endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("jittertol.counter.%d", label))
 		searchDone := obsrv.Registry.Timer("tolerance.search").Time()
-		base, err := experiments.BERWithSJ(spec, 0, slot)
+		base, err := experiments.BERWithSJ(spec, 0, slot, solveOpt)
 		if err != nil {
 			app.Fatal(err)
 		}
-		tol, err := experiments.JitterTolerance(spec, *target, slot, *maxAmp, *tolUI)
+		tol, err := experiments.JitterTolerance(spec, *target, slot, *maxAmp, *tolUI, solveOpt)
 		searchDone()
 		endSpan()
 		if err != nil {

@@ -22,6 +22,9 @@ type App struct {
 	Spec *SpecFlags
 	// Obs holds the observability flag group (-trace, -metrics, -pprof).
 	Obs *ObsFlags
+	// Workers is the shared -workers flag: solver worker-team width
+	// (0 = all cores, 1 = serial).
+	Workers *int
 }
 
 // NewApp returns an App with both the spec and observability flag groups
@@ -36,7 +39,7 @@ func NewApp(name string) *App {
 // for commands whose model parameters do not come from flags.
 func NewObsApp(name string) *App {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
-	return &App{Name: name, Flags: fs, Obs: BindObs(fs)}
+	return &App{Name: name, Flags: fs, Obs: BindObs(fs), Workers: BindWorkers(fs)}
 }
 
 // Parse parses the command-line arguments, exiting with status 2 on error

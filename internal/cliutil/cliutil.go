@@ -27,6 +27,15 @@ type SpecFlags struct {
 	Threshold  *float64
 }
 
+// BindWorkers registers the shared -workers flag: the width of the
+// parallel worker team the sparse solvers use. Every CLI exposes the same
+// knob so "-workers 1" means "serial" and "-workers 0" means "all cores"
+// across the whole tool set.
+func BindWorkers(fs *flag.FlagSet) *int {
+	return fs.Int("workers", 0,
+		"solver parallelism: sparse-kernel worker team width (0 = all cores, 1 = serial)")
+}
+
 // Bind registers the spec flags on the given FlagSet.
 func Bind(fs *flag.FlagSet) *SpecFlags {
 	return &SpecFlags{

@@ -54,9 +54,47 @@ func Build(spec Spec) (*Model, error) {
 		m.wrapSlip = make([]float64, n)
 	}
 	drift := spec.Drift.Trim()
-	// Row count estimate: ≤ 3 branches × drift support per state.
+	// The phase-detector decision probabilities depend only on the phase
+	// index, not on the data or counter state: evaluate the deep-tail
+	// probabilities once per grid point instead of once per product state.
+	// On a data transition the PD emits LEAD when Φ + n_w > +δ, LAG when
+	// Φ + n_w ≤ −δ and NULL inside the dead zone |Φ + n_w| ≤ δ (δ = 0
+	// recovers the ideal signum detector). Deep-tail-safe evaluation keeps
+	// BER ~1e−14 distinguishable from zero.
+	pLeadAt := make([]float64, m.M)
+	pLagAt := make([]float64, m.M)
+	pNullAt := make([]float64, m.M)
+	for mi := 0; mi < m.M; mi++ {
+		pLeadAt[mi], pLagAt[mi], pNullAt[mi] = m.pdProbs(m.PhaseValue(mi))
+	}
+	// Each surviving branch scatters one triplet entry per nonzero drift
+	// mass point; count the branches exactly so assembly never regrows.
+	driftNNZ := 0
+	drift.Support(func(float64, int, float64) { driftNNZ++ })
+	entries := 0
+	for d := 0; d < m.D; d++ {
+		pt := spec.transProb(d)
+		branches := 0
+		for mi := 0; mi < m.M; mi++ {
+			if 1-pt > 0 {
+				branches++
+			}
+			if pt > 0 {
+				if pt*pLeadAt[mi] > 0 {
+					branches++
+				}
+				if pt*pLagAt[mi] > 0 {
+					branches++
+				}
+				if pt*pNullAt[mi] > 0 {
+					branches++
+				}
+			}
+		}
+		entries += m.C * branches * driftNNZ
+	}
 	tr := spmat.NewTriplet(n, n)
-	tr.Reserve(n * (drift.Len() + 2))
+	tr.Reserve(entries)
 
 	for d := 0; d < m.D; d++ {
 		pt := spec.transProb(d)
@@ -65,14 +103,8 @@ func Build(spec Spec) (*Model, error) {
 			cLead, corrLead := m.counterStep(c, +1)
 			cLag, corrLag := m.counterStep(c, -1)
 			for mi := 0; mi < m.M; mi++ {
-				phi := m.PhaseValue(mi)
 				from := m.StateIndex(d, c, mi)
-				// On a data transition the PD emits LEAD when
-				// Φ + n_w > +δ, LAG when Φ + n_w ≤ −δ and NULL inside the
-				// dead zone |Φ + n_w| ≤ δ (δ = 0 recovers the ideal
-				// signum detector). Deep-tail-safe evaluation keeps BER
-				// ~1e−14 distinguishable from zero.
-				pLead, pLag, pNull := m.pdProbs(phi)
+				pLead, pLag, pNull := pLeadAt[mi], pLagAt[mi], pNullAt[mi]
 
 				if w := 1 - pt; w > 0 {
 					m.addBranch(tr, from, dNoTrans, c, mi, 0, w, drift)

@@ -110,13 +110,19 @@ type Panel struct {
 	Slip     passage.FluxResult
 }
 
-// RunPanel builds and solves a figure panel.
-func RunPanel(spec core.Spec) (*Panel, error) {
+// RunPanel builds and solves a figure panel. An optional SolveOptions
+// (first value wins) forwards solver knobs — notably the parallel worker
+// count — to the stationary solve.
+func RunPanel(spec core.Spec, opts ...core.SolveOptions) (*Panel, error) {
 	m, err := core.Build(spec)
 	if err != nil {
 		return nil, err
 	}
-	a, err := m.Solve(core.SolveOptions{})
+	var opt core.SolveOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	a, err := m.Solve(opt)
 	if err != nil {
 		return nil, err
 	}

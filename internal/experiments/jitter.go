@@ -65,8 +65,9 @@ func WithSinusoidalJitter(spec core.Spec, amp float64, slot SJSlot) (core.Spec, 
 }
 
 // BERWithSJ builds and solves the model with the given sinusoidal jitter
-// amplitude and returns its BER.
-func BERWithSJ(spec core.Spec, amp float64, slot SJSlot) (float64, error) {
+// amplitude and returns its BER. An optional SolveOptions (first value
+// wins) forwards solver knobs to the stationary solve.
+func BERWithSJ(spec core.Spec, amp float64, slot SJSlot, opts ...core.SolveOptions) (float64, error) {
 	s, err := WithSinusoidalJitter(spec, amp, slot)
 	if err != nil {
 		return 0, err
@@ -75,7 +76,11 @@ func BERWithSJ(spec core.Spec, amp float64, slot SJSlot) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	a, err := m.Solve(core.SolveOptions{})
+	var opt core.SolveOptions
+	if len(opts) > 0 {
+		opt = opts[0]
+	}
+	a, err := m.Solve(opt)
 	if err != nil {
 		return 0, err
 	}
@@ -86,18 +91,18 @@ func BERWithSJ(spec core.Spec, amp float64, slot SJSlot) (float64, error) {
 // amplitude (UI, up to maxAmp) whose BER stays at or below target. It
 // returns 0 when the jitter-free BER already violates the target, and
 // maxAmp when even maxAmp passes. tolUI sets the bisection resolution.
-func JitterTolerance(spec core.Spec, target float64, slot SJSlot, maxAmp, tolUI float64) (float64, error) {
+func JitterTolerance(spec core.Spec, target float64, slot SJSlot, maxAmp, tolUI float64, opts ...core.SolveOptions) (float64, error) {
 	if target <= 0 || maxAmp <= 0 || tolUI <= 0 {
 		return 0, errors.New("experiments: positive target, maxAmp and tolUI required")
 	}
-	base, err := BERWithSJ(spec, 0, slot)
+	base, err := BERWithSJ(spec, 0, slot, opts...)
 	if err != nil {
 		return 0, err
 	}
 	if base > target {
 		return 0, nil
 	}
-	top, err := BERWithSJ(spec, maxAmp, slot)
+	top, err := BERWithSJ(spec, maxAmp, slot, opts...)
 	if err != nil {
 		return 0, err
 	}
@@ -107,7 +112,7 @@ func JitterTolerance(spec core.Spec, target float64, slot SJSlot, maxAmp, tolUI 
 	lo, hi := 0.0, maxAmp
 	for hi-lo > tolUI {
 		mid := (lo + hi) / 2
-		ber, err := BERWithSJ(spec, mid, slot)
+		ber, err := BERWithSJ(spec, mid, slot, opts...)
 		if err != nil {
 			return 0, err
 		}

@@ -91,14 +91,14 @@ type CounterPoint struct {
 // ("there is an optimal counter length for given levels of noise, the
 // computation of which is enabled by the accurate and efficient analysis
 // method").
-func OptimalCounter(mkSpec func(counterLen int) core.Spec, lengths []int) ([]CounterPoint, int, error) {
+func OptimalCounter(mkSpec func(counterLen int) core.Spec, lengths []int, opts ...core.SolveOptions) ([]CounterPoint, int, error) {
 	if len(lengths) == 0 {
 		return nil, 0, errors.New("experiments: no candidate lengths")
 	}
 	out := make([]CounterPoint, 0, len(lengths))
 	best := 0
 	for i, l := range lengths {
-		p, err := RunPanel(mkSpec(l))
+		p, err := RunPanel(mkSpec(l), opts...)
 		if err != nil {
 			return nil, 0, fmt.Errorf("counter %d: %w", l, err)
 		}

@@ -36,6 +36,13 @@ type GMRESOptions struct {
 	// or expired context stops the solve with a partial-progress error
 	// wrapping ctx.Err(). Nil never cancels.
 	Ctx context.Context
+	// Workers is the parallel team width for the sparse products (see
+	// Options.Workers): 0 = GOMAXPROCS, 1 = serial. Ignored when Ws
+	// carries a live Pool.
+	Workers int
+	// Ws supplies reusable solve buffers and the worker team; nil uses a
+	// private workspace.
+	Ws *Workspace
 }
 
 func (o GMRESOptions) withDefaults() GMRESOptions {
@@ -65,8 +72,14 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 	if n == 0 {
 		return Result{}, errors.New("markov: empty chain")
 	}
+	ws := opt.Ws
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.ensure(n)
+	pool := ws.team(opt.Workers)
 	apply := func(dst, x []float64) {
-		c.p.VecMul(dst, x) // dst = x·P
+		pool.VecMul(c.p, dst, x) // dst = x·P
 		s := 0.0
 		for i := range x {
 			s += x[i]
@@ -103,6 +116,10 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 	sn := make([]float64, m)
 	g := make([]float64, m+1)
 	w := make([]float64, n)
+	// Per-restart buffers, hoisted so restarts reuse them: the projected
+	// triangular solve and the normalized-iterate copy.
+	ybuf := make([]float64, m)
+	xn := make([]float64, n)
 	res := Result{}
 
 	matvecs := 0
@@ -139,7 +156,7 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 				x[i] /= sum
 			}
 			res.Iterations = matvecs
-			res.Residual = c.Residual(x)
+			res.Residual = c.residualInto(pool, ws.r, x)
 			res.Converged = res.Residual <= opt.Tol
 			obs.IterEvent(opt.Trace, "gmres", matvecs, res.Residual)
 			res.Pi = x
@@ -204,7 +221,7 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 			}
 		}
 		// Back-substitute y from the k×k triangular system and update x.
-		y := make([]float64, k)
+		y := ybuf[:k]
 		for i := k - 1; i >= 0; i-- {
 			sum := g[i]
 			for j := i + 1; j < k; j++ {
@@ -222,7 +239,6 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 		}
 
 		// Normalize and measure the stationarity defect.
-		xn := make([]float64, n)
 		copy(xn, x)
 		sum := 0.0
 		for _, v := range xn {
@@ -235,7 +251,7 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 			xn[i] /= sum
 		}
 		res.Iterations = matvecs
-		res.Residual = c.Residual(xn)
+		res.Residual = c.residualInto(pool, ws.r, xn)
 		obs.IterEvent(opt.Trace, "gmres", matvecs, res.Residual)
 		if res.Residual <= opt.Tol {
 			res.Converged = true

@@ -22,8 +22,7 @@ import (
 
 // Chain is a finite discrete-time Markov chain.
 type Chain struct {
-	p  *spmat.CSR
-	pt *spmat.CSR // lazily computed transpose for column-sweep solvers
+	p *spmat.CSR
 }
 
 // New validates P as a row-stochastic matrix and wraps it in a Chain.
@@ -43,13 +42,10 @@ func (c *Chain) N() int {
 	return n
 }
 
-// transpose returns Pᵀ, computing and caching it on first use.
-func (c *Chain) transpose() *spmat.CSR {
-	if c.pt == nil {
-		c.pt = c.p.Transpose()
-	}
-	return c.pt
-}
+// transpose returns Pᵀ through the matrix-owned cache (spmat.CSR.T): the
+// column-sweep solvers here and the parallel gather kernels share one
+// transpose per matrix. Safe because a Chain's matrix is never mutated.
+func (c *Chain) transpose() *spmat.CSR { return c.p.T() }
 
 // Uniform returns the uniform distribution over the chain's states.
 func (c *Chain) Uniform() []float64 {
@@ -73,13 +69,51 @@ func (c *Chain) Step(dst, x []float64) []float64 {
 
 // Residual returns ‖x·P − x‖₁, the stationarity defect of x.
 func (c *Chain) Residual(x []float64) float64 {
-	y := make([]float64, len(x))
-	c.p.VecMul(y, x)
+	return c.residualInto(nil, make([]float64, len(x)), x)
+}
+
+// residualInto computes ‖x·P − x‖₁ using scratch y and the given team —
+// the allocation-free form the sweep loops call once per iteration.
+func (c *Chain) residualInto(pool *spmat.Pool, y, x []float64) float64 {
+	pool.VecMul(c.p, y, x)
 	r := 0.0
 	for i := range x {
 		r += math.Abs(y[i] - x[i])
 	}
 	return r
+}
+
+// Workspace holds the buffers and the parallel worker team an iterative
+// solve reuses across sweeps — and, when passed via Options.Ws, across
+// solves. The zero value is ready to use. The service path keeps
+// Workspaces in a sync.Pool so concurrent requests share teams and
+// buffers instead of rebuilding them per request.
+type Workspace struct {
+	// Pool is the sparse-kernel worker team. When nil, the solver
+	// installs one sized by Options.Workers on first use; the workspace
+	// keeps it for later solves.
+	Pool *spmat.Pool
+	y    []float64 // iterate/product buffer
+	r    []float64 // residual scratch
+}
+
+// ensure sizes the buffers for an n-state solve, reusing capacity.
+func (w *Workspace) ensure(n int) {
+	if cap(w.y) < n {
+		w.y = make([]float64, n)
+		w.r = make([]float64, n)
+	}
+	w.y = w.y[:n]
+	w.r = w.r[:n]
+}
+
+// team returns the workspace's pool, creating one of the given width
+// (0 = GOMAXPROCS, 1 = serial) on first use.
+func (w *Workspace) team(workers int) *spmat.Pool {
+	if w.Pool == nil {
+		w.Pool = spmat.NewPool(workers)
+	}
+	return w.Pool
 }
 
 // normalize rescales x to unit 1-norm in place; returns an error when the
@@ -121,6 +155,26 @@ type Options struct {
 	// expired context stops the solve and the solver returns a
 	// partial-progress error wrapping ctx.Err(). Nil never cancels.
 	Ctx context.Context
+	// Workers is the width of the parallel worker team for the sparse
+	// products of the sweep: 0 selects runtime.GOMAXPROCS, 1 forces
+	// serial; matrices below spmat.ParallelCutoff run serially
+	// regardless of the setting. Ignored when Ws carries a live Pool.
+	Workers int
+	// Ws supplies reusable buffers and the worker team. Passing the same
+	// Workspace to consecutive solves removes the per-solve buffer and
+	// team setup; nil uses a private workspace.
+	Ws *Workspace
+}
+
+// workspace returns the caller-supplied workspace or a private one,
+// sized for n states.
+func (o Options) workspace(n int) *Workspace {
+	ws := o.Ws
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	ws.ensure(n)
+	return ws
 }
 
 // ctxErr reports the context error to surface at a sweep boundary, nil
@@ -189,11 +243,13 @@ func (c *Chain) initial(opt Options) ([]float64, error) {
 // "Gauss–Jacobi" smoother, and the smoother used between multigrid levels.
 func (c *Chain) StationaryPower(opt Options) (Result, error) {
 	opt = opt.withDefaults(c.N())
+	ws := opt.workspace(c.N())
+	pool := ws.team(opt.Workers)
 	x, err := c.initial(opt)
 	if err != nil {
 		return Result{}, err
 	}
-	y := make([]float64, len(x))
+	y := ws.y
 	res := Result{}
 	endSpan := obs.StartSpan(opt.Trace, "power")
 	defer endSpan()
@@ -202,7 +258,7 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 			res.Pi = x
 			return res, err
 		}
-		c.p.VecMul(y, x)
+		pool.VecMul(c.p, y, x)
 		r := 0.0
 		a := opt.Damping
 		for i := range x {
@@ -231,6 +287,8 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 // Jacobi / JOR) restores convergence and is recommended.
 func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 	opt = opt.withDefaults(c.N())
+	ws := opt.workspace(c.N())
+	pool := ws.team(opt.Workers)
 	pt := c.transpose()
 	diag := c.p.Diag()
 	for i, d := range diag {
@@ -242,9 +300,15 @@ func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	orig := x
 	y := make([]float64, len(x))
 	res := Result{}
-	a := opt.Damping
+	// The Jacobi update reads only x and writes y[i] for its own rows, so
+	// the sweep is row-parallel over Pᵀ with bit-identical results at any
+	// team width. The kernel struct and its method value are built once;
+	// the sweep loop then allocates nothing.
+	kern := &jacobiSweep{pt: pt, diag: diag, a: opt.Damping}
+	sweep := kern.rows
 	endSpan := obs.StartSpan(opt.Trace, "jacobi")
 	defer endSpan()
 	for it := 1; it <= opt.MaxIter; it++ {
@@ -252,31 +316,51 @@ func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 			res.Pi = x
 			return res, err
 		}
-		n := c.N()
-		for i := 0; i < n; i++ {
-			cols, vals := pt.Row(i) // row i of Pᵀ = column i of P
-			s := 0.0
-			for k, j := range cols {
-				if j != i {
-					s += vals[k] * x[j]
-				}
-			}
-			y[i] = a*s/(1-diag[i]) + (1-a)*x[i]
-		}
+		kern.x, kern.y = x, y
+		pool.RunRows(pt, sweep)
 		x, y = y, x
 		if err := normalize(x); err != nil {
 			return Result{}, err
 		}
 		res.Iterations = it
-		res.Residual = c.Residual(x)
+		res.Residual = c.residualInto(pool, ws.r, x)
 		obs.IterEvent(opt.Trace, "jacobi", it, res.Residual)
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			break
 		}
 	}
+	// The buffer swap may leave the final iterate in y's storage; return
+	// the slice the caller cannot see aliased elsewhere.
+	if &x[0] != &orig[0] {
+		copy(orig, x)
+		x = orig
+	}
 	res.Pi = x
 	return res, nil
+}
+
+// jacobiSweep is the row-parallel Jacobi kernel: one update of
+// y_i ← a·Σ_{j≠i} Pᵀ_ij x_j / (1 − P_ii) + (1−a)·x_i over a row range.
+type jacobiSweep struct {
+	pt   *spmat.CSR
+	diag []float64
+	x, y []float64
+	a    float64
+}
+
+func (s *jacobiSweep) rows(_, lo, hi int) {
+	a := s.a
+	for i := lo; i < hi; i++ {
+		cols, vals := s.pt.Row(i) // row i of Pᵀ = column i of P
+		sum := 0.0
+		for k, j := range cols {
+			if j != i {
+				sum += vals[k] * s.x[j]
+			}
+		}
+		s.y[i] = a*sum/(1-s.diag[i]) + (1-a)*s.x[i]
+	}
 }
 
 // StationaryGaussSeidel computes the stationary distribution with forward
@@ -284,6 +368,8 @@ func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 // Options.Omega.
 func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
 	opt = opt.withDefaults(c.N())
+	ws := opt.workspace(c.N())
+	pool := ws.team(opt.Workers)
 	pt := c.transpose()
 	diag := c.p.Diag()
 	for i, d := range diag {
@@ -320,7 +406,7 @@ func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
 			return Result{}, err
 		}
 		res.Iterations = it
-		res.Residual = c.Residual(x)
+		res.Residual = c.residualInto(pool, ws.r, x)
 		obs.IterEvent(opt.Trace, "gauss-seidel", it, res.Residual)
 		if res.Residual <= opt.Tol {
 			res.Converged = true

@@ -1,0 +1,130 @@
+package markov
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cdrstoch/internal/spmat"
+)
+
+// forceParallel drops the serial-fallback cutoff so even the small test
+// chains exercise the parallel kernels, restoring it afterwards.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	old := spmat.ParallelCutoff
+	spmat.ParallelCutoff = 0
+	t.Cleanup(func() { spmat.ParallelCutoff = old })
+}
+
+func solverWorkerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// The iterative solvers must agree between serial and any parallel team
+// width to well below the convergence tolerance: MulVec is bit-identical
+// by construction and VecMul only reassociates the gather, so the fixed
+// points coincide to rounding.
+func TestStationarySolversParallelMatchSerial(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(42))
+	c := randomChain(t, 80, rng)
+
+	type solver struct {
+		name string
+		run  func(workers int) ([]float64, error)
+	}
+	solvers := []solver{
+		{"power", func(w int) ([]float64, error) {
+			r, err := c.StationaryPower(Options{Tol: 1e-13, Workers: w})
+			return r.Pi, err
+		}},
+		{"jacobi", func(w int) ([]float64, error) {
+			r, err := c.StationaryJacobi(Options{Tol: 1e-13, Damping: 0.8, Workers: w})
+			return r.Pi, err
+		}},
+		{"gauss-seidel", func(w int) ([]float64, error) {
+			r, err := c.StationaryGaussSeidel(Options{Tol: 1e-13, Workers: w})
+			return r.Pi, err
+		}},
+		{"gmres", func(w int) ([]float64, error) {
+			r, err := c.StationaryGMRES(GMRESOptions{Tol: 1e-13, Workers: w})
+			return r.Pi, err
+		}},
+	}
+	for _, s := range solvers {
+		serial, err := s.run(1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", s.name, err)
+		}
+		for _, w := range solverWorkerCounts()[1:] {
+			par, err := s.run(w)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", s.name, w, err)
+			}
+			if d := maxAbsDiff(par, serial); d > 1e-12 {
+				t.Errorf("%s workers=%d differs from serial by %g", s.name, w, d)
+			}
+		}
+	}
+}
+
+// A Workspace carried across solves must not change results: the buffers
+// are scratch, the pool is stateless between dispatches.
+func TestWorkspaceReuseAcrossSolves(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(7))
+	ws := &Workspace{Pool: spmat.NewPool(2)}
+	defer ws.Pool.Close()
+	for trial := 0; trial < 4; trial++ {
+		c := randomChain(t, 20+10*trial, rng)
+		fresh, err := c.StationaryPower(Options{Tol: 1e-13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reused, err := c.StationaryPower(Options{Tol: 1e-13, Ws: ws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := maxAbsDiff(fresh.Pi, reused.Pi); d > 1e-12 {
+			t.Errorf("trial %d: workspace reuse changed result by %g", trial, d)
+		}
+	}
+}
+
+// The sweep loops must not allocate: a solve running 16x more iterations
+// may not allocate more than the fixed per-solve setup.
+func TestSolverAllocsDoNotScaleWithIterations(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := randomChain(t, 60, rng)
+	ws := &Workspace{Pool: spmat.NewPool(1)}
+
+	measure := func(run func()) float64 {
+		return testing.AllocsPerRun(50, run)
+	}
+	type tc struct {
+		name string
+		run  func(maxIter int)
+	}
+	// An unreachably small tolerance makes both runs exit on MaxIter, so
+	// the difference between them is pure sweep-loop work.
+	cases := []tc{
+		{"power", func(mi int) {
+			c.StationaryPower(Options{Tol: 1e-300, MaxIter: mi, Ws: ws})
+		}},
+		{"jacobi", func(mi int) {
+			c.StationaryJacobi(Options{Tol: 1e-300, MaxIter: mi, Damping: 0.8, Ws: ws})
+		}},
+		{"gauss-seidel", func(mi int) {
+			c.StationaryGaussSeidel(Options{Tol: 1e-300, MaxIter: mi, Ws: ws})
+		}},
+	}
+	for _, tcase := range cases {
+		short := measure(func() { tcase.run(4) })
+		long := measure(func() { tcase.run(64) })
+		if long > short {
+			t.Errorf("%s: allocs grew with iterations: %v (4 iters) -> %v (64 iters)",
+				tcase.name, short, long)
+		}
+	}
+}

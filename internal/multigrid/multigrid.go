@@ -67,6 +67,18 @@ type Config struct {
 	// expired context stops the solve within one cycle and Solve returns a
 	// partial-progress error wrapping ctx.Err(). Nil never cancels.
 	Ctx context.Context
+	// Workers is the width of the parallel team used for the sparse
+	// products the cycle performs (the per-cycle residual on the finest
+	// level). 0 selects runtime.GOMAXPROCS, 1 forces serial; matrices
+	// below spmat.ParallelCutoff run serially regardless. The smoothing
+	// sweeps are Gauss–Seidel and therefore inherently sequential; they
+	// are not parallelized. Ignored when Pool is set.
+	Workers int
+	// Pool, when non-nil, supplies an externally owned worker team (the
+	// service path shares pooled teams across requests so concurrent
+	// solves do not oversubscribe the machine). The solver never closes
+	// a caller-supplied pool.
+	Pool *spmat.Pool
 }
 
 func (c Config) withDefaults() Config {
@@ -112,12 +124,27 @@ func (r Result) String() string {
 		r.Cycles, r.Residual, r.Converged, r.LevelSizes)
 }
 
+// mgLevel is the per-level workspace of the hierarchy: the level's matrix,
+// its transpose (refreshed in place on coarse levels, whose values change
+// every cycle), the lumping plan down to the next level, and the coarse
+// iterate buffer. Everything is allocated once in New so the cycles run
+// allocation-free.
+type mgLevel struct {
+	p    *spmat.CSR // level matrix; level 0 is the caller's, others are plan-owned
+	pt   *spmat.CSR // transpose of p, used by the Gauss–Seidel smoother
+	perm []int      // p→pt value permutation for in-place refresh; nil at level 0
+	plan *lump.Plan // lumping onto the next level; nil at the coarsest
+	xc   []float64  // coarse iterate buffer; nil at the coarsest
+}
+
 // Solver is a configured multilevel hierarchy for one transition matrix.
 type Solver struct {
 	p        *spmat.CSR
-	pt       *spmat.CSR // cached transpose of the finest-level matrix
 	parts    []*lump.Partition
 	cfg      Config
+	levels   []*mgLevel
+	gth      spmat.GTHWorkspace
+	pool     *spmat.Pool
 	curCycle int // cycle number stamped on level-visit trace events
 }
 
@@ -127,6 +154,10 @@ type Solver struct {
 // chain degenerates to a smoothed direct solve and is rejected for
 // matrices beyond the coarsest size; supply at least one level for real
 // problems.
+//
+// New builds the whole hierarchy structurally — coarse patterns, lumping
+// plans, transposes and iterate buffers — so that Solve's cycles only
+// rewrite values in place: after New, a cycle performs no heap allocation.
 func New(p *spmat.CSR, parts []*lump.Partition, cfg Config) (*Solver, error) {
 	n, m := p.Dims()
 	if n != m {
@@ -144,7 +175,34 @@ func New(p *spmat.CSR, parts []*lump.Partition, cfg Config) (*Solver, error) {
 		}
 		size = part.NumBlocks()
 	}
-	return &Solver{p: p, pt: p.Transpose(), parts: parts, cfg: cfg.withDefaults()}, nil
+	cfg = cfg.withDefaults()
+	s := &Solver{p: p, parts: parts, cfg: cfg, pool: cfg.Pool}
+	if s.pool == nil {
+		s.pool = spmat.NewPool(cfg.Workers)
+	}
+	cur := p
+	s.levels = make([]*mgLevel, len(parts)+1)
+	for k := range s.levels {
+		lv := &mgLevel{p: cur}
+		if k == 0 {
+			// The finest matrix's values never change; share the chain-owned
+			// cached transpose.
+			lv.pt = cur.T()
+		} else {
+			lv.pt, lv.perm = cur.TransposeWithPerm()
+		}
+		if k < len(parts) {
+			plan, err := lump.NewPlan(cur, parts[k])
+			if err != nil {
+				return nil, fmt.Errorf("multigrid: level %d: %w", k, err)
+			}
+			lv.plan = plan
+			lv.xc = make([]float64, parts[k].NumBlocks())
+			cur = plan.Coarse()
+		}
+		s.levels[k] = lv
+	}
+	return s, nil
 }
 
 // LevelSizes returns the state count of every level, finest first.
@@ -201,49 +259,50 @@ func (s *Solver) smooth(pt *spmat.CSR, x []float64, steps int) {
 }
 
 // coarsestSolve solves the stationary distribution of a small chain
-// exactly with GTH, falling back to Gauss–Seidel sweeps when the weighted
-// coarse chain is numerically reducible.
-func (s *Solver) coarsestSolve(p *spmat.CSR, x []float64) []float64 {
-	pi, err := spmat.StationaryGTHCSR(p)
+// exactly with GTH (through the reusable dense workspace), falling back to
+// Gauss–Seidel sweeps when the weighted coarse chain is numerically
+// reducible. The result is written into x.
+func (s *Solver) coarsestSolve(lv *mgLevel, x []float64) []float64 {
+	pi, err := s.gth.StationaryCSR(lv.p)
 	if err == nil {
-		return pi
+		copy(x, pi)
+		return x
 	}
-	s.smooth(p.Transpose(), x, s.cfg.CoarsestMaxIter)
+	s.smooth(lv.pt, x, s.cfg.CoarsestMaxIter)
 	return x
 }
 
 // cycle runs one multilevel cycle at the given level and returns the
-// improved iterate.
-func (s *Solver) cycle(level int, p *spmat.CSR, x []float64) ([]float64, error) {
-	obs.LevelEvent(s.cfg.Trace, "multigrid", s.curCycle, level, dimOf(p))
+// improved iterate. All buffers — coarse matrices, transposes, iterate
+// vectors — live in the per-level workspaces; a cycle allocates nothing.
+func (s *Solver) cycle(level int, x []float64) ([]float64, error) {
+	lv := s.levels[level]
+	obs.LevelEvent(s.cfg.Trace, "multigrid", s.curCycle, level, dimOf(lv.p))
 	if level == len(s.parts) {
-		return s.coarsestSolve(p, x), nil
+		return s.coarsestSolve(lv, x), nil
 	}
-	pt := s.pt
-	if level > 0 {
-		pt = p.Transpose()
-	}
-	s.smooth(pt, x, s.cfg.PreSmooth)
+	s.smooth(lv.pt, x, s.cfg.PreSmooth)
 
-	part := s.parts[level]
-	w := part.Weights(x)
-	pc, err := lump.Lump(p, part, x)
-	if err != nil {
+	if err := lv.plan.Update(x); err != nil {
 		return nil, fmt.Errorf("multigrid: level %d: %w", level, err)
 	}
-	xc := part.Restrict(nil, x)
+	next := s.levels[level+1]
+	next.p.RefreshTranspose(next.pt, next.perm)
+	part := s.parts[level]
+	xc := part.Restrict(lv.xc, x)
 	visits := 1
 	if s.cfg.Cycle == WCycle {
 		visits = 2
 	}
+	var err error
 	for v := 0; v < visits; v++ {
-		xc, err = s.cycle(level+1, pc, xc)
+		xc, err = s.cycle(level+1, xc)
 		if err != nil {
 			return nil, err
 		}
 	}
-	x = part.Prolong(x, xc, w)
-	s.smooth(pt, x, s.cfg.PostSmooth)
+	x = part.Prolong(x, xc, lv.plan.Weights())
+	s.smooth(lv.pt, x, s.cfg.PostSmooth)
 	return x, nil
 }
 
@@ -276,7 +335,10 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 		}
 	}
 
-	res := Result{LevelSizes: s.LevelSizes()}
+	res := Result{
+		LevelSizes:      s.LevelSizes(),
+		ResidualHistory: make([]float64, 0, s.cfg.MaxCycles),
+	}
 	y := make([]float64, n)
 	var err error
 	endSpan := obs.StartSpan(s.cfg.Trace, "multigrid")
@@ -289,11 +351,11 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 			}
 		}
 		s.curCycle = c
-		x, err = s.cycle(0, s.p, x)
+		x, err = s.cycle(0, x)
 		if err != nil {
 			return Result{}, err
 		}
-		s.p.VecMul(y, x)
+		s.pool.VecMul(s.p, y, x)
 		r := 0.0
 		for i := range x {
 			r += math.Abs(y[i] - x[i])

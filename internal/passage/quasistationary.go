@@ -36,10 +36,32 @@ type QuasiStationaryResult struct {
 	Converged bool
 }
 
+// QSOptions configures the quasi-stationary power iteration.
+type QSOptions struct {
+	// Tol is the 1-norm eigenvector residual threshold. Default 1e-12.
+	Tol float64
+	// MaxIter bounds the power steps. Default 100000.
+	MaxIter int
+	// Workers is the parallel team width for the x·Q products
+	// (0 = GOMAXPROCS, 1 = serial; see spmat.Pool). Ignored when Pool
+	// is set.
+	Workers int
+	// Pool optionally supplies an externally owned worker team; it is
+	// never closed by the solver.
+	Pool *spmat.Pool
+}
+
 // QuasiStationary computes (ν, λ) by power iteration on the substochastic
 // restriction of p to the complement of target, renormalizing each sweep
 // (the normalization factor converges to λ).
 func QuasiStationary(p *spmat.CSR, target []bool, tol float64, maxIter int) (QuasiStationaryResult, error) {
+	return QuasiStationaryOpt(p, target, QSOptions{Tol: tol, MaxIter: maxIter})
+}
+
+// QuasiStationaryOpt is QuasiStationary with the full option set: it runs
+// the per-sweep x·Q product on a parallel worker team and allocates only
+// its two iterate buffers for the whole solve.
+func QuasiStationaryOpt(p *spmat.CSR, target []bool, opt QSOptions) (QuasiStationaryResult, error) {
 	n, m := p.Dims()
 	if n != m {
 		return QuasiStationaryResult{}, errors.New("passage: TPM must be square")
@@ -47,11 +69,16 @@ func QuasiStationary(p *spmat.CSR, target []bool, tol float64, maxIter int) (Qua
 	if len(target) != n {
 		return QuasiStationaryResult{}, errors.New("passage: target length mismatch")
 	}
+	tol, maxIter := opt.Tol, opt.MaxIter
 	if tol <= 0 {
 		tol = 1e-12
 	}
 	if maxIter <= 0 {
 		maxIter = 100000
+	}
+	pool := opt.Pool
+	if pool == nil {
+		pool = spmat.NewPool(opt.Workers)
 	}
 	inside := 0
 	for _, b := range target {
@@ -83,7 +110,7 @@ func QuasiStationary(p *spmat.CSR, target []bool, tol float64, maxIter int) (Qua
 	res := QuasiStationaryResult{}
 	for it := 1; it <= maxIter; it++ {
 		// y = x·Q: propagate through P, then zero the target states.
-		p.VecMul(y, x)
+		pool.VecMul(p, y, x)
 		lambda := 0.0
 		for i := range y {
 			if target[i] {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"cdrstoch/internal/multigrid"
 	"cdrstoch/internal/obs"
 	"cdrstoch/internal/serve/speckey"
+	"cdrstoch/internal/spmat"
 )
 
 // ErrBadRequest marks client errors (invalid specs, unknown sweep
@@ -31,6 +33,12 @@ type EngineConfig struct {
 	// MaxConcurrent bounds the number of simultaneous solves across all
 	// requests (sweep fan-out included). Default 4.
 	MaxConcurrent int
+	// SolveWorkers is the parallel team width each solve uses for its
+	// sparse kernels. The default divides the machine among the solve
+	// slots — max(1, GOMAXPROCS/MaxConcurrent) — so a saturated solve
+	// semaphore does not oversubscribe the cores. Set 1 to force serial
+	// solves.
+	SolveWorkers int
 	// Multigrid overrides the stationary solver configuration; its Ctx and
 	// Trace fields are overwritten per request. The zero value selects
 	// core.SolveOptions' robust defaults.
@@ -55,6 +63,13 @@ type Engine struct {
 
 	sf  group
 	sem chan struct{}
+
+	// teams recycles sparse-kernel worker pools across requests: at most
+	// MaxConcurrent are live at once (one per solve slot), each of width
+	// SolveWorkers, so concurrent solves share the machine instead of
+	// each spawning a full-width team. Pools dropped under memory
+	// pressure release their goroutines via finalizer.
+	teams sync.Pool
 }
 
 // NewEngine returns a ready Engine.
@@ -65,12 +80,21 @@ func NewEngine(cfg EngineConfig) *Engine {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 4
 	}
-	return &Engine{
+	if cfg.SolveWorkers <= 0 {
+		w := runtime.GOMAXPROCS(0) / cfg.MaxConcurrent
+		if w < 1 {
+			w = 1
+		}
+		cfg.SolveWorkers = w
+	}
+	e := &Engine{
 		cfg:   cfg,
 		reg:   cfg.Registry,
 		cache: NewCache(cfg.CacheEntries, cfg.Registry),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 	}
+	e.teams.New = func() any { return spmat.NewPool(cfg.SolveWorkers) }
+	return e
 }
 
 // fptr boxes a float for JSON, mapping non-finite values to null (JSON
@@ -198,9 +222,12 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.M
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: build %s: %w", key[:12], err)
 	}
+	team := e.teams.Get().(*spmat.Pool)
+	defer e.teams.Put(team)
 	mg := e.cfg.Multigrid
 	mg.Ctx = ctx
 	mg.Trace = e.cfg.Tracer
+	mg.Pool = team
 	a, err := m.Solve(core.SolveOptions{Multigrid: mg})
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: solve %s: %w", key[:12], err)

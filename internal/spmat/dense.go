@@ -188,7 +188,17 @@ func StationaryGTH(p *Dense) ([]float64, error) {
 	if n == 0 {
 		return nil, errors.New("spmat: GTH on empty matrix")
 	}
-	a := p.Clone()
+	pi := make([]float64, n)
+	if err := gthInPlace(p.Clone(), pi); err != nil {
+		return nil, err
+	}
+	return pi, nil
+}
+
+// gthInPlace runs the GTH elimination and back-substitution, destroying a
+// and writing the normalized stationary vector into pi (len a.rows).
+func gthInPlace(a *Dense, pi []float64) error {
+	n := a.rows
 	// Elimination sweep: state n-1, n-2, ..., 1 are censored in turn.
 	for k := n - 1; k > 0; k-- {
 		row := a.Row(k)
@@ -197,7 +207,7 @@ func StationaryGTH(p *Dense) ([]float64, error) {
 			s += row[j]
 		}
 		if s <= 0 {
-			return nil, fmt.Errorf("spmat: GTH: state %d unreachable backwards (reducible chain?)", k)
+			return fmt.Errorf("spmat: GTH: state %d unreachable backwards (reducible chain?)", k)
 		}
 		for i := 0; i < k; i++ {
 			aik := a.At(i, k) / s
@@ -216,7 +226,6 @@ func StationaryGTH(p *Dense) ([]float64, error) {
 		}
 	}
 	// Back substitution: unnormalized stationary measure.
-	pi := make([]float64, n)
 	pi[0] = 1
 	for k := 1; k < n; k++ {
 		s := 0.0
@@ -230,16 +239,53 @@ func StationaryGTH(p *Dense) ([]float64, error) {
 		total += v
 	}
 	if total == 0 || math.IsNaN(total) || math.IsInf(total, 0) {
-		return nil, errors.New("spmat: GTH produced a degenerate measure")
+		return errors.New("spmat: GTH produced a degenerate measure")
 	}
 	for i := range pi {
 		pi[i] /= total
 	}
-	return pi, nil
+	return nil
 }
 
 // StationaryGTHCSR is a convenience wrapper that densifies a (small) CSR
 // matrix and runs GTH on it.
 func StationaryGTHCSR(p *CSR) ([]float64, error) {
 	return StationaryGTH(p.ToDense())
+}
+
+// GTHWorkspace reuses the dense elimination matrix and result vector
+// across repeated GTH solves — the multigrid coarsest level runs one per
+// cycle on a chain of fixed size, which without reuse dominates the
+// cycle's allocation volume. The zero value is ready to use.
+type GTHWorkspace struct {
+	a  *Dense
+	pi []float64
+}
+
+// StationaryCSR densifies p into the workspace and solves it with GTH.
+// The returned vector aliases the workspace and is valid until the next
+// call; callers that keep it must copy it out.
+func (w *GTHWorkspace) StationaryCSR(p *CSR) ([]float64, error) {
+	n, m := p.Dims()
+	if n != m {
+		return nil, errors.New("spmat: GTH requires a square matrix")
+	}
+	if n == 0 {
+		return nil, errors.New("spmat: GTH on empty matrix")
+	}
+	if w.a == nil || w.a.rows != n {
+		w.a = NewDense(n, n)
+		w.pi = make([]float64, n)
+	} else {
+		clear(w.a.data)
+	}
+	for r := 0; r < n; r++ {
+		for k := p.rowPtr[r]; k < p.rowPtr[r+1]; k++ {
+			w.a.data[r*n+p.colIdx[k]] = p.val[k]
+		}
+	}
+	if err := gthInPlace(w.a, w.pi); err != nil {
+		return nil, err
+	}
+	return w.pi, nil
 }

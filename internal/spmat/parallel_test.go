@@ -1,0 +1,267 @@
+package spmat
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randomCSR builds an r×c matrix with roughly density fraction of stored
+// entries, deliberately skewed (a few very heavy rows) so the nnz-balanced
+// partition is exercised on uneven work.
+func randomCSR(rng *rand.Rand, r, c int, density float64) *CSR {
+	tr := NewTriplet(r, c)
+	for i := 0; i < r; i++ {
+		d := density
+		if i%17 == 0 {
+			d = math.Min(1, density*10) // heavy rows
+		}
+		for j := 0; j < c; j++ {
+			if rng.Float64() < d {
+				tr.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return tr.ToCSR()
+}
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func maxRelDiff(a, b []float64) float64 {
+	worst := 0.0
+	for i := range a {
+		den := math.Abs(a[i])
+		if den < 1 {
+			den = 1
+		}
+		if d := math.Abs(a[i]-b[i]) / den; d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// workerCounts is the matrix of team sizes every differential test runs:
+// serial, even, odd/prime, and whatever the host reports.
+func workerCounts() []int {
+	return []int{1, 2, 7, runtime.GOMAXPROCS(0)}
+}
+
+// TestPoolMulVecMatchesSerial checks the row-parallel y = A·x against the
+// serial kernel for random skewed matrices at several worker counts. The
+// per-row reductions are identical, so the match must be exact.
+func TestPoolMulVecMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer forceParallel(t)()
+	for _, shape := range [][2]int{{1, 1}, {3, 50}, {200, 200}, {613, 401}} {
+		m := randomCSR(rng, shape[0], shape[1], 0.05)
+		x := randomVec(rng, shape[1])
+		want := make([]float64, shape[0])
+		m.MulVec(want, x)
+		for _, w := range workerCounts() {
+			pool := NewPool(w)
+			got := make([]float64, shape[0])
+			pool.MulVec(m, got, x)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%dx%d workers=%d: y[%d] = %g, serial %g",
+						shape[0], shape[1], w, i, got[i], want[i])
+				}
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestPoolVecMulMatchesSerial checks the transpose-gather y = x·A against
+// the serial scatter within 1e-12: the two sum each y[j] in different
+// orders, so only rounding-level disagreement is allowed.
+func TestPoolVecMulMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	defer forceParallel(t)()
+	for _, shape := range [][2]int{{3, 50}, {200, 200}, {401, 613}} {
+		m := randomCSR(rng, shape[0], shape[1], 0.05)
+		x := randomVec(rng, shape[0])
+		want := make([]float64, shape[1])
+		m.VecMul(want, x)
+		for _, w := range workerCounts() {
+			pool := NewPool(w)
+			got := make([]float64, shape[1])
+			pool.VecMul(m, got, x)
+			if d := maxRelDiff(want, got); d > 1e-12 {
+				t.Fatalf("%dx%d workers=%d: max rel diff %g", shape[0], shape[1], w, d)
+			}
+			pool.Close()
+		}
+	}
+}
+
+// TestPoolDeterministicForFixedWorkers dispatches the same product many
+// times on the same pool and on a fresh pool of the same width: every
+// repetition must be bit-identical — the partition depends only on the
+// matrix and the worker count.
+func TestPoolDeterministicForFixedWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	defer forceParallel(t)()
+	m := randomCSR(rng, 500, 500, 0.04)
+	x := randomVec(rng, 500)
+	for _, w := range workerCounts() {
+		pool := NewPool(w)
+		ref := make([]float64, 500)
+		pool.VecMul(m, ref, x)
+		got := make([]float64, 500)
+		for rep := 0; rep < 5; rep++ {
+			pool.VecMul(m, got, x)
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("workers=%d rep %d: y[%d] drifted", w, rep, i)
+				}
+			}
+		}
+		fresh := NewPool(w)
+		fresh.VecMul(m, got, x)
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("workers=%d: fresh pool disagrees at %d", w, i)
+			}
+		}
+		fresh.Close()
+		pool.Close()
+	}
+}
+
+// TestPoolRunRowsPartialSums exercises the custom-kernel path with the
+// deterministic partial-sum reduction pattern (one slot per part, serial
+// combine) and checks it against the serial sum.
+func TestPoolRunRowsPartialSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	defer forceParallel(t)()
+	m := randomCSR(rng, 300, 300, 0.05)
+	want := 0.0
+	for _, v := range m.val {
+		want += v * v
+	}
+	for _, w := range workerCounts() {
+		pool := NewPool(w)
+		partials := make([]float64, pool.Workers())
+		pool.RunRows(m, func(part, lo, hi int) {
+			s := 0.0
+			for k := m.rowPtr[lo]; k < m.rowPtr[hi]; k++ {
+				s += m.val[k] * m.val[k]
+			}
+			partials[part] = s
+		})
+		got := 0.0
+		for _, s := range partials {
+			got += s
+		}
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("workers=%d: partial-sum total %g, want %g", w, got, want)
+		}
+		pool.Close()
+	}
+}
+
+// TestPoolSerialFallbacks checks the three serial cases — nil pool,
+// single worker, matrix under the cutoff — all produce the plain-kernel
+// result without dispatch.
+func TestPoolSerialFallbacks(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := randomCSR(rng, 40, 40, 0.2) // tiny: far below ParallelCutoff
+	x := randomVec(rng, 40)
+	want := make([]float64, 40)
+	m.MulVec(want, x)
+	var nilPool *Pool
+	got := make([]float64, 40)
+	nilPool.MulVec(m, got, x)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("nil pool differs at %d", i)
+		}
+	}
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d", nilPool.Workers())
+	}
+	nilPool.Close() // must not panic
+	one := NewPool(1)
+	one.MulVec(m, got, x)
+	one.Close()
+	big := NewPool(4)
+	defer big.Close()
+	big.MulVec(m, got, x) // under cutoff: serial path on a live team
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("cutoff fallback differs at %d", i)
+		}
+	}
+}
+
+// TestPoolCloseIdempotent double-closes live and serial pools.
+func TestPoolCloseIdempotent(t *testing.T) {
+	p := NewPool(3)
+	p.Close()
+	p.Close()
+	s := NewPool(1)
+	s.Close()
+	s.Close()
+}
+
+// TestTransposeCacheSharedAndConsistent checks T() returns one cached
+// transpose equal to a fresh Transpose and that concurrent first calls
+// are safe (run under -race).
+func TestTransposeCacheSharedAndConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := randomCSR(rng, 120, 80, 0.1)
+	done := make(chan *CSR, 8)
+	for i := 0; i < 8; i++ {
+		go func() { done <- m.T() }()
+	}
+	first := <-done
+	for i := 1; i < 8; i++ {
+		if got := <-done; got != first {
+			t.Fatal("T returned different instances")
+		}
+	}
+	want := m.Transpose()
+	if d := maxRelDiff(want.val, first.val); d != 0 {
+		t.Fatalf("cached transpose values differ: %g", d)
+	}
+}
+
+// TestTransposeWithPermRefresh mutates values in place and refreshes the
+// transpose through the permutation, checking it matches a rebuild.
+func TestTransposeWithPermRefresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomCSR(rng, 90, 110, 0.08)
+	tr, perm := m.TransposeWithPerm()
+	vals := m.RawValues()
+	for k := range vals {
+		vals[k] *= 1.5
+	}
+	tvals := tr.RawValues()
+	for k, v := range vals {
+		tvals[perm[k]] = v
+	}
+	want := m.Transpose()
+	for k := range want.val {
+		if want.val[k] != tr.val[k] {
+			t.Fatalf("refreshed transpose differs at %d", k)
+		}
+	}
+}
+
+// forceParallel drops the crossover cutoff so the dispatch path runs even
+// for the small matrices tests use, restoring it on cleanup.
+func forceParallel(t *testing.T) func() {
+	t.Helper()
+	old := ParallelCutoff
+	ParallelCutoff = 0
+	return func() { ParallelCutoff = old }
+}

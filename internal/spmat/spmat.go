@@ -11,10 +11,12 @@
 package spmat
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Triplet accumulates matrix entries in coordinate form. Duplicate entries
@@ -102,7 +104,7 @@ func (t *Triplet) ToCSR() *CSR {
 			e := perm[k]
 			scratch = append(scratch, ent{t.j[e], t.v[e]})
 		}
-		sort.Slice(scratch, func(a, b int) bool { return scratch[a].j < scratch[b].j })
+		slices.SortFunc(scratch, func(a, b ent) int { return cmp.Compare(a.j, b.j) })
 		for k := 0; k < len(scratch); {
 			j := scratch[k].j
 			sum := 0.0
@@ -119,11 +121,19 @@ func (t *Triplet) ToCSR() *CSR {
 }
 
 // CSR is an immutable compressed-sparse-row matrix.
+//
+// Immutability has one sanctioned exception: solvers that keep the
+// sparsity pattern fixed may refresh the stored values in place through
+// RawValues (see its contract). The lazily cached transpose (T) is shared
+// and must only be used on matrices whose values do not change.
 type CSR struct {
 	rows, cols int
 	rowPtr     []int
 	colIdx     []int
 	val        []float64
+
+	tOnce sync.Once
+	t     *CSR // lazily cached transpose, see T
 }
 
 // NewCSR builds a CSR matrix from raw slices. The slices are adopted, not
@@ -168,8 +178,7 @@ func (m *CSR) Row(i int) (cols []int, vals []float64) {
 func (m *CSR) At(i, j int) float64 {
 	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
 	cols := m.colIdx[lo:hi]
-	k := sort.SearchInts(cols, j)
-	if k < len(cols) && cols[k] == j {
+	if k, ok := slices.BinarySearch(cols, j); ok {
 		return m.val[lo+k]
 	}
 	return 0
@@ -181,7 +190,14 @@ func (m *CSR) MulVec(y, x []float64) {
 	if len(x) != m.cols || len(y) != m.rows {
 		panic("spmat: MulVec dimension mismatch")
 	}
-	for r := 0; r < m.rows; r++ {
+	m.mulVecRange(y, x, 0, m.rows)
+}
+
+// mulVecRange computes y[lo:hi] = (A·x)[lo:hi], the row-range kernel the
+// parallel pool partitions by stored-entry count. Each y[r] is a serial
+// per-row reduction, so the result is independent of the partitioning.
+func (m *CSR) mulVecRange(y, x []float64, lo, hi int) {
+	for r := lo; r < hi; r++ {
 		sum := 0.0
 		for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
 			sum += m.val[k] * x[m.colIdx[k]]
@@ -213,6 +229,30 @@ func (m *CSR) VecMul(y, x []float64) {
 
 // Transpose returns Aᵀ as a new CSR matrix.
 func (m *CSR) Transpose() *CSR {
+	return m.transpose(nil)
+}
+
+// TransposeWithPerm returns Aᵀ together with the value permutation
+// linking the two: t.val[perm[k]] = m.val[k] for every stored entry k.
+// Solvers that refresh a fixed-pattern matrix's values in place use perm
+// to refresh the transpose in one O(nnz) pass instead of rebuilding it.
+func (m *CSR) TransposeWithPerm() (t *CSR, perm []int) {
+	perm = make([]int, len(m.val))
+	return m.transpose(perm), perm
+}
+
+// T returns Aᵀ, computing and caching it on first use. The cached
+// transpose is what turns the left-multiply x·A (a scatter over rows)
+// into a race-free row-parallel gather for the pool kernels, and is
+// shared by the column-sweep solvers. Only valid on matrices whose
+// values never change; in-place refreshers (RawValues) must manage
+// their own transposes via TransposeWithPerm.
+func (m *CSR) T() *CSR {
+	m.tOnce.Do(func() { m.t = m.Transpose() })
+	return m.t
+}
+
+func (m *CSR) transpose(perm []int) *CSR {
 	count := make([]int, m.cols+1)
 	for _, j := range m.colIdx {
 		count[j+1]++
@@ -232,11 +272,45 @@ func (m *CSR) Transpose() *CSR {
 			p := next[j]
 			colIdx[p] = r
 			val[p] = m.val[k]
+			if perm != nil {
+				perm[k] = p
+			}
 			next[j]++
 		}
 	}
 	return &CSR{rows: m.cols, cols: m.rows, rowPtr: rowPtr, colIdx: colIdx, val: val}
 }
+
+// EntryIndex returns the position of stored entry (i, j) within RawValues,
+// or -1 when the entry is not stored. O(log rowNNZ).
+func (m *CSR) EntryIndex(i, j int) int {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	if k, ok := slices.BinarySearch(m.colIdx[lo:hi], j); ok {
+		return lo + k
+	}
+	return -1
+}
+
+// RefreshTranspose re-derives t's values from m through the permutation
+// returned by TransposeWithPerm, after m's values were rewritten in place.
+// One O(nnz) pass, no allocation.
+func (m *CSR) RefreshTranspose(t *CSR, perm []int) {
+	if len(perm) != len(m.val) || len(t.val) != len(m.val) {
+		panic("spmat: RefreshTranspose permutation mismatch")
+	}
+	for k, v := range m.val {
+		t.val[perm[k]] = v
+	}
+}
+
+// RawValues exposes the backing value slice so that fixed-pattern solvers
+// (repeated iterate-weighted lumping, transpose refresh) can rewrite the
+// stored values in place without reallocating the matrix. The sparsity
+// pattern (rowPtr, colIdx) must never change, values must stay consistent
+// with any invariants the caller relies on (e.g. row-stochasticity), and
+// a transpose already materialized by T is NOT refreshed — in-place
+// mutators must maintain their own transposes via TransposeWithPerm.
+func (m *CSR) RawValues() []float64 { return m.val }
 
 // RowSums returns the vector of row sums (all 1 for a stochastic matrix).
 func (m *CSR) RowSums() []float64 {
@@ -251,7 +325,9 @@ func (m *CSR) RowSums() []float64 {
 	return s
 }
 
-// Diag returns the main diagonal as a dense vector.
+// Diag returns the main diagonal as a dense vector. One linear pass over
+// each row's column slice (columns are strictly increasing, so the scan
+// stops at the first column past the diagonal).
 func (m *CSR) Diag() []float64 {
 	n := m.rows
 	if m.cols < n {
@@ -259,20 +335,29 @@ func (m *CSR) Diag() []float64 {
 	}
 	d := make([]float64, n)
 	for i := 0; i < n; i++ {
-		d[i] = m.At(i, i)
+		for k := m.rowPtr[i]; k < m.rowPtr[i+1]; k++ {
+			j := m.colIdx[k]
+			if j > i {
+				break
+			}
+			if j == i {
+				d[i] = m.val[k]
+				break
+			}
+		}
 	}
 	return d
 }
 
-// Scale returns a new CSR with every entry multiplied by s.
+// Scale returns a new CSR with every entry multiplied by s. The pattern
+// slices are shared with the receiver; the new matrix has its own values
+// (and its own, empty, transpose cache).
 func (m *CSR) Scale(s float64) *CSR {
 	val := make([]float64, len(m.val))
 	for i, v := range m.val {
 		val[i] = v * s
 	}
-	out := *m
-	out.val = val
-	return &out
+	return &CSR{rows: m.rows, cols: m.cols, rowPtr: m.rowPtr, colIdx: m.colIdx, val: val}
 }
 
 // ScaleRows returns a new CSR whose row i is multiplied by d[i].
@@ -286,9 +371,7 @@ func (m *CSR) ScaleRows(d []float64) *CSR {
 			val[k] = m.val[k] * d[r]
 		}
 	}
-	out := *m
-	out.val = val
-	return &out
+	return &CSR{rows: m.rows, cols: m.cols, rowPtr: m.rowPtr, colIdx: m.colIdx, val: val}
 }
 
 // CheckStochastic reports whether every row sums to 1 within tol and every
