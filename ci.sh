@@ -28,4 +28,20 @@ go test -run '^$' -bench 'BenchmarkStationary|BenchmarkFig3MatrixForm' \
 echo "== cdrserved smoke (build, serve, cache-hit replay, SIGTERM drain) =="
 go test -count=1 -run '^TestServerSmoke$' -v ./cmd/cdrserved
 
+echo "== bench compare (optional; needs two committed BENCH_*.json) =="
+# Diff the two newest committed benchmark snapshots. With fewer than two
+# snapshots there is nothing to compare, so the stage skips cleanly —
+# fresh clones and the first benchmarked commit must not fail CI. The
+# generous threshold (50%) absorbs machine-to-machine noise; tighten it
+# locally when hunting a specific regression.
+set -- $(ls -t BENCH_*.json 2>/dev/null || true)
+if [ "$#" -ge 2 ]; then
+    new="$1"
+    old="$2"
+    echo "comparing $old (old) -> $new (new)"
+    go run ./cmd/cdrbench -compare -threshold 0.5 "$old" "$new"
+else
+    echo "skipped: found $# snapshot(s), need 2"
+fi
+
 echo "== ci.sh: all gates passed =="

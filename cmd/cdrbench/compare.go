@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// compareMetrics are the columns of the delta table, in report order.
+var compareMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// deltaRow is one benchmark/metric pair present in both snapshots.
+type deltaRow struct {
+	Name   string
+	Metric string
+	Old    float64
+	New    float64
+	// Ratio is New/Old (1.0 = unchanged; Old == 0 yields +Inf for a
+	// nonzero New, which always counts as a regression).
+	Ratio float64
+	// Regressed marks ns/op rows whose ratio exceeds the threshold; only
+	// time regressions gate the exit code — allocation metrics are
+	// reported for context but machines disagree on them less usefully.
+	Regressed bool
+}
+
+// compareSnapshots diffs two benchmark snapshots. threshold is the
+// allowed fractional ns/op growth (0.25 = new may be up to 25% slower);
+// regressed reports whether any benchmark exceeded it.
+func compareSnapshots(oldSnap, newSnap Snapshot, threshold float64) (rows []deltaRow, regressed bool) {
+	oldByName := make(map[string]Result, len(oldSnap.Results))
+	for _, r := range oldSnap.Results {
+		oldByName[r.Name] = r
+	}
+	names := make([]string, 0, len(newSnap.Results))
+	byName := make(map[string]Result, len(newSnap.Results))
+	for _, r := range newSnap.Results {
+		if _, ok := oldByName[r.Name]; ok {
+			names = append(names, r.Name)
+			byName[r.Name] = r
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oldR, newR := oldByName[name], byName[name]
+		for _, m := range compareMetrics {
+			ov, okOld := oldR.Metrics[m]
+			nv, okNew := newR.Metrics[m]
+			if !okOld || !okNew {
+				continue
+			}
+			row := deltaRow{Name: name, Metric: m, Old: ov, New: nv}
+			switch {
+			case ov == 0 && nv == 0:
+				row.Ratio = 1
+			case ov == 0:
+				row.Ratio = nv / ov // +Inf
+			default:
+				row.Ratio = nv / ov
+			}
+			if m == "ns/op" && row.Ratio > 1+threshold {
+				row.Regressed = true
+				regressed = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, regressed
+}
+
+// writeCompare renders the delta table. Regressed rows carry a trailing
+// "REGRESSED" marker so grepping CI logs finds them.
+func writeCompare(w io.Writer, oldSnap, newSnap Snapshot, rows []deltaRow) {
+	fmt.Fprintf(w, "cdrbench compare: %s (old) vs %s (new)\n", oldSnap.GitSHA, newSnap.GitSHA)
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "cdrbench compare: no overlapping benchmarks")
+		return
+	}
+	width := 0
+	for _, r := range rows {
+		if n := len(r.Name); n > width {
+			width = n
+		}
+	}
+	for _, r := range rows {
+		mark := ""
+		if r.Regressed {
+			mark = "  REGRESSED"
+		}
+		fmt.Fprintf(w, "%-*s  %-9s  %14.4g -> %14.4g  (%+.1f%%)%s\n",
+			width, r.Name, r.Metric, r.Old, r.New, (r.Ratio-1)*100, mark)
+	}
+}
+
+// loadSnapshot reads and decodes one BENCH_<sha>.json file.
+func loadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// runCompare implements `cdrbench -compare old.json new.json`. It returns
+// regressed=true when any benchmark's ns/op grew past the threshold; the
+// caller maps that to a nonzero exit status.
+func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	if threshold < 0 {
+		return false, fmt.Errorf("threshold must be >= 0, got %g", threshold)
+	}
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return false, err
+	}
+	rows, regressed := compareSnapshots(oldSnap, newSnap, threshold)
+	writeCompare(w, oldSnap, newSnap, rows)
+	if regressed {
+		var bad []string
+		for _, r := range rows {
+			if r.Regressed {
+				bad = append(bad, r.Name)
+			}
+		}
+		fmt.Fprintf(w, "cdrbench compare: FAIL: ns/op regression beyond %.0f%% in: %s\n",
+			threshold*100, strings.Join(bad, ", "))
+	} else {
+		fmt.Fprintln(w, "cdrbench compare: OK")
+	}
+	return regressed, nil
+}

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(sha string, results ...Result) Snapshot {
+	return Snapshot{GitSHA: sha, GoVersion: "go1.x", GOMAXPROCS: 8, Bench: ".", Benchtime: "1x", Results: results}
+}
+
+func res(name string, ns, b, allocs float64) Result {
+	return Result{Name: name, Iterations: 10, Metrics: map[string]float64{
+		"ns/op": ns, "B/op": b, "allocs/op": allocs,
+	}}
+}
+
+func TestCompareSnapshotsDetectsRegression(t *testing.T) {
+	oldS := snap("aaaa", res("BenchmarkStationary/power-8", 1000, 64, 2), res("BenchmarkOnlyOld-8", 5, 0, 0))
+	newS := snap("bbbb", res("BenchmarkStationary/power-8", 2100, 64, 2), res("BenchmarkOnlyNew-8", 7, 0, 0))
+
+	rows, regressed := compareSnapshots(oldS, newS, 0.25)
+	if !regressed {
+		t.Fatal("2.1x ns/op growth not flagged at 25% threshold")
+	}
+	// Only the overlapping benchmark contributes rows.
+	for _, r := range rows {
+		if strings.Contains(r.Name, "Only") {
+			t.Errorf("non-overlapping benchmark %s in diff", r.Name)
+		}
+	}
+	var nsRow *deltaRow
+	for i := range rows {
+		if rows[i].Metric == "ns/op" {
+			nsRow = &rows[i]
+		}
+	}
+	if nsRow == nil {
+		t.Fatal("no ns/op row")
+	}
+	if !nsRow.Regressed || nsRow.Ratio < 2.0 || nsRow.Ratio > 2.2 {
+		t.Errorf("ns/op row = %+v", *nsRow)
+	}
+
+	// A generous threshold lets the same diff pass.
+	if _, regressed := compareSnapshots(oldS, newS, 1.5); regressed {
+		t.Error("2.1x growth flagged at 150% threshold")
+	}
+}
+
+func TestCompareIgnoresAllocRegressions(t *testing.T) {
+	oldS := snap("aaaa", res("BenchmarkX-8", 100, 10, 1))
+	newS := snap("bbbb", res("BenchmarkX-8", 100, 1000, 50))
+	_, regressed := compareSnapshots(oldS, newS, 0.25)
+	if regressed {
+		t.Error("allocation growth alone must not gate the exit code")
+	}
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s Snapshot) string {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", snap("aaaa", res("BenchmarkX-8", 1000, 64, 2)))
+	newPath := write("new.json", snap("bbbb", res("BenchmarkX-8", 2000, 64, 2)))
+
+	var buf bytes.Buffer
+	regressed, err := runCompare(&buf, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("2x regression not reported by runCompare")
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "FAIL", "BenchmarkX-8", "aaaa", "bbbb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Identical snapshots pass.
+	buf.Reset()
+	regressed, err = runCompare(&buf, oldPath, oldPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Error("identical snapshots reported as regressed")
+	}
+	if !strings.Contains(buf.String(), "OK") {
+		t.Errorf("output missing OK:\n%s", buf.String())
+	}
+
+	if _, err := runCompare(&buf, filepath.Join(dir, "missing.json"), newPath, 0.25); err == nil {
+		t.Error("missing old snapshot not reported")
+	}
+	if _, err := runCompare(&buf, oldPath, newPath, -1); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}

@@ -6,6 +6,13 @@
 //	go run ./cmd/cdrbench                 # headline set, BENCH_<sha>.json
 //	go run ./cmd/cdrbench -bench '.'      # every top-level benchmark
 //	go run ./cmd/cdrbench -benchtime 5x -out /tmp/snap.json
+//
+// With -compare it diffs two committed snapshots instead of running
+// anything, printing a per-benchmark delta table (ns/op, B/op,
+// allocs/op) and exiting 1 when any ns/op grew beyond -threshold:
+//
+//	go run ./cmd/cdrbench -compare BENCH_old.json BENCH_new.json
+//	go run ./cmd/cdrbench -compare -threshold 0.5 old.json new.json
 package main
 
 import (
@@ -54,7 +61,23 @@ func main() {
 	bench := flag.String("bench", headline, "benchmark selection regexp passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "per-benchmark budget passed to go test -benchtime")
 	out := flag.String("out", "", "output path (default BENCH_<git-sha>.json in the current directory)")
+	compare := flag.Bool("compare", false, "diff two snapshot files (old.json new.json) instead of benchmarking")
+	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op growth before -compare fails (0.25 = 25%)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two snapshot paths, got %d", flag.NArg()))
+		}
+		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		if err != nil {
+			fatal(err)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	sha, err := gitShortSHA()
 	if err != nil {

@@ -10,9 +10,12 @@
 //	POST /v1/analyze   {"spec": {...}, "async": false}
 //	POST /v1/slip      {"spec": {...}}
 //	POST /v1/sweep     {"spec": {...}, "param": "counter", "values": [1,2,4]}
-//	GET  /v1/jobs/{id} poll an async job
-//	GET  /healthz      liveness + cache/queue occupancy
-//	GET  /metrics      observability registry snapshot (JSON)
+//	GET  /v1/jobs/{id}       poll an async job
+//	GET  /v1/jobs/{id}/trace solver trace events for an async job
+//	GET  /healthz            liveness + build info + cache/queue occupancy
+//	GET  /metrics            registry snapshot (JSON, or Prometheus text
+//	                         exposition under Accept: text/plain)
+//	GET  /debug/flight       flight recorder dump (recent solver events)
 //
 // On SIGINT/SIGTERM the daemon stops accepting, drains queued jobs within
 // the -drain budget, then exits 0.
@@ -21,6 +24,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -28,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"cdrstoch/internal/buildinfo"
 	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/serve"
 )
@@ -42,7 +47,13 @@ func main() {
 	conc := fs.Int("concurrent", 4, "maximum simultaneous solves")
 	timeout := fs.Duration("timeout", 120*time.Second, "synchronous request deadline")
 	drainBudget := fs.Duration("drain", 30*time.Second, "graceful shutdown budget before canceling running jobs")
+	flightN := fs.Int("flight", 0, "flight recorder ring size in events (0 = default)")
+	version := fs.Bool("version", false, "print build attribution and exit")
 	app.Parse(os.Args[1:])
+	if *version {
+		fmt.Printf("cdrserved %s\n", buildinfo.Get())
+		return
+	}
 	obsrv := app.Setup()
 
 	srv := serve.NewServer(serve.ServerConfig{
@@ -56,6 +67,8 @@ func main() {
 		SyncTimeout: *timeout,
 		Registry:    obsrv.Registry,
 		Tracer:      obsrv.Tracer,
+		FlightSize:  *flightN,
+		ErrorLog:    log.New(os.Stderr, "cdrserved: ", log.LstdFlags|log.LUTC),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -131,6 +131,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Bits <= 0 {
 		return nil, errors.New("bitsim: Bits must be positive")
 	}
+	cfg.Trace = obs.StampFromContext(cfg.Ctx, cfg.Trace)
 	warm := cfg.WarmupBits
 	if warm <= 0 {
 		warm = cfg.Bits / 20

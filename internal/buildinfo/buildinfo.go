@@ -1,0 +1,80 @@
+// Package buildinfo exposes the module version and VCS revision the
+// binary was built from, read once from debug.ReadBuildInfo. Services
+// stamp it into health responses and startup banners so traces, bench
+// snapshots, and postmortem dumps are attributable to a commit.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Info is the attribution record of a binary.
+type Info struct {
+	// Version is the main module version ("(devel)" for plain builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash the build was made from; empty when
+	// the toolchain had no VCS metadata (e.g. go test binaries).
+	Revision string `json:"vcs_revision,omitempty"`
+	// Time is the commit timestamp (RFC 3339), when known.
+	Time string `json:"vcs_time,omitempty"`
+	// Modified reports a dirty working tree at build time.
+	Modified bool `json:"vcs_modified,omitempty"`
+	// GoVersion is the toolchain that produced the binary.
+	GoVersion string `json:"go_version"`
+}
+
+var get = sync.OnceValue(func() Info {
+	info := Info{Version: "unknown", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+})
+
+// Get returns the binary's build attribution. The lookup runs once; all
+// calls share the cached record.
+func Get() Info { return get() }
+
+// ShortRevision returns the first 12 characters of the VCS revision, or
+// "unknown" when the build carried none.
+func ShortRevision() string {
+	rev := Get().Revision
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	return rev
+}
+
+// String renders a one-line banner: "version (revision, modified) go1.x".
+func (i Info) String() string {
+	rev := i.Revision
+	if rev == "" {
+		rev = "no vcs metadata"
+	} else if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if i.Modified {
+		rev += ", modified"
+	}
+	return fmt.Sprintf("%s (%s) %s", i.Version, rev, i.GoVersion)
+}

@@ -1,0 +1,38 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGetIsStableAndPopulated(t *testing.T) {
+	a, b := Get(), Get()
+	if a != b {
+		t.Errorf("Get not stable: %+v vs %+v", a, b)
+	}
+	if a.Version == "" {
+		t.Error("version empty")
+	}
+	if !strings.HasPrefix(a.GoVersion, "go") {
+		t.Errorf("go version = %q", a.GoVersion)
+	}
+}
+
+func TestStringAndShortRevision(t *testing.T) {
+	i := Info{Version: "v1.2.3", Revision: "0123456789abcdef0123", Modified: true, GoVersion: "go1.99"}
+	s := i.String()
+	for _, want := range []string{"v1.2.3", "0123456789ab", "modified", "go1.99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "0123456789abc") {
+		t.Errorf("String() = %q did not truncate the revision", s)
+	}
+	if got := ShortRevision(); got == "" {
+		t.Error("ShortRevision empty")
+	}
+	if s := (Info{Version: "unknown", GoVersion: "go1.99"}).String(); !strings.Contains(s, "no vcs metadata") {
+		t.Errorf("no-vcs String() = %q", s)
+	}
+}

@@ -14,6 +14,12 @@ import (
 	"cdrstoch/internal/passage"
 )
 
+// ErrUnconverged marks a solve that exhausted its cycle budget without
+// reaching tolerance. Callers (the HTTP service in particular) match it
+// with errors.Is to trigger postmortem handling — flight-recorder dumps
+// attached to the error response — distinct from plain input errors.
+var ErrUnconverged = errors.New("did not converge")
+
 // SolveOptions configures the stationary analysis.
 type SolveOptions struct {
 	// Multigrid configures the multilevel solver. The zero value selects
@@ -99,7 +105,7 @@ func (m *Model) Solve(opt SolveOptions) (*Analysis, error) {
 	}
 	elapsed := time.Since(start)
 	if !res.Converged {
-		return nil, fmt.Errorf("core: multigrid did not converge: %v", res)
+		return nil, fmt.Errorf("core: multigrid %w: %v", ErrUnconverged, res)
 	}
 	return &Analysis{
 		Pi:        res.Pi,

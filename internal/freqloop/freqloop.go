@@ -335,7 +335,7 @@ func (m *Model) Solve(tol float64, maxIter int) ([]float64, markov.Result, error
 		return nil, markov.Result{}, err
 	}
 	if !res.Converged {
-		return nil, res, fmt.Errorf("freqloop: Gauss-Seidel did not converge: %v", res)
+		return nil, res, fmt.Errorf("freqloop: Gauss-Seidel %w: %v", core.ErrUnconverged, res)
 	}
 	return res.Pi, res, nil
 }

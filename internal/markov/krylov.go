@@ -46,6 +46,7 @@ type GMRESOptions struct {
 }
 
 func (o GMRESOptions) withDefaults() GMRESOptions {
+	o.Trace = obs.StampFromContext(o.Ctx, o.Trace)
 	if o.Tol <= 0 {
 		o.Tol = 1e-12
 	}

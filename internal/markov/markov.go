@@ -192,6 +192,9 @@ func (o Options) ctxErr(name string, iterations int, residual float64) error {
 }
 
 func (o Options) withDefaults(n int) Options {
+	// Tie the solver's events to the request that initiated it: when the
+	// context carries a trace ID, every span/iter event is stamped with it.
+	o.Trace = obs.StampFromContext(o.Ctx, o.Trace)
 	if o.Tol <= 0 {
 		o.Tol = 1e-12
 	}

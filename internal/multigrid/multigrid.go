@@ -82,6 +82,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	// Stamp the request's trace identity (when Ctx carries one) onto every
+	// span, iter, and level event the cycle emits.
+	c.Trace = obs.StampFromContext(c.Ctx, c.Trace)
 	if c.PreSmooth <= 0 {
 		c.PreSmooth = 1
 	}

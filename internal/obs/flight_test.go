@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingWrap(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		f.Emit(Event{Kind: "iter", Iter: i})
+	}
+	got := f.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("retained %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.Iter != 6+i { // oldest-first: 6,7,8,9
+			t.Errorf("event %d has Iter=%d, want %d", i, e.Iter, 6+i)
+		}
+	}
+	if d := f.Dropped(); d != 6 {
+		t.Errorf("dropped = %d, want 6", d)
+	}
+	if tail := f.Tail(2); len(tail) != 2 || tail[0].Iter != 8 || tail[1].Iter != 9 {
+		t.Errorf("Tail(2) = %+v", tail)
+	}
+}
+
+func TestFlightRecorderTailFor(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 6; i++ {
+		trace := "aaaa"
+		if i%2 == 1 {
+			trace = "bbbb"
+		}
+		f.Emit(Event{Kind: "iter", Iter: i, Trace: trace})
+	}
+	got := f.TailFor("aaaa", -1)
+	if len(got) != 3 {
+		t.Fatalf("TailFor(aaaa) = %d events, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Trace != "aaaa" || e.Iter != 2*i {
+			t.Errorf("event %d = %+v", i, e)
+		}
+	}
+	if got := f.TailFor("aaaa", 2); len(got) != 2 || got[0].Iter != 2 {
+		t.Errorf("capped TailFor = %+v", got)
+	}
+	if got := f.TailFor("", -1); got != nil {
+		t.Errorf("empty trace matched %d events", len(got))
+	}
+	if got := f.TailFor("cccc", -1); got != nil {
+		t.Errorf("unknown trace matched %d events", len(got))
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Emit(Event{Kind: "iter"})
+	if f.Snapshot() != nil || f.Tail(3) != nil || f.TailFor("x", 1) != nil || f.Dropped() != 0 {
+		t.Error("nil recorder not a no-op")
+	}
+}
+
+// TestFlightRecorderEmitZeroAlloc pins the always-on cost: once the ring
+// is full (every Emit an overwrite), recording must not allocate.
+func TestFlightRecorderEmitZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(8)
+	e := Event{Kind: "iter", Name: "power", Iter: 3, Residual: 0.5, Trace: "aaaa"}
+	for i := 0; i < 16; i++ {
+		f.Emit(e) // fill past capacity so every later Emit drops an event
+	}
+	if n := testing.AllocsPerRun(1000, func() { f.Emit(e) }); n != 0 {
+		t.Errorf("full-ring Emit allocates %.1f/op", n)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			trace := fmt.Sprintf("t%d", g)
+			for i := 0; i < perG; i++ {
+				f.Emit(Event{Kind: "iter", Iter: i, Trace: trace})
+				if i%50 == 0 {
+					f.Tail(8)
+					f.TailFor(trace, 4)
+					f.Dropped()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(f.Snapshot()); got != 32 {
+		t.Errorf("retained %d events, want 32", got)
+	}
+	if d := f.Dropped(); d != goroutines*perG-32 {
+		t.Errorf("dropped = %d, want %d", d, goroutines*perG-32)
+	}
+}
+
+func TestTeeFansOutAndDropsNils(t *testing.T) {
+	a, b := NewCollector(nil), NewCollector(nil)
+	tr := Tee(nil, a, nil, b)
+	tr.Emit(Event{Kind: "iter", Iter: 1})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Errorf("tee delivered %d/%d events", len(a.Events()), len(b.Events()))
+	}
+	if got := Tee(nil, nil); got != nil {
+		t.Errorf("all-nil tee = %#v, want nil", got)
+	}
+	if got := Tee(a); got != Tracer(a) {
+		t.Errorf("single-member tee = %#v, want the member itself", got)
+	}
+}

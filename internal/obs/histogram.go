@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucket layout: one bucket per power of two, upper bounds
+// 2^histMinExp … 2^histMaxExp inclusive, plus an overflow bucket beyond
+// the largest bound. The layout is fixed at compile time, so histograms
+// from different processes (or different snapshots of the same process)
+// merge exactly, bucket by bucket.
+//
+// The span covers nine decades below 1 and nine above: microsecond-scale
+// stage latencies in milliseconds, iteration counts in the hundreds, and
+// byte counts in the gigabytes all land inside the finite buckets.
+const (
+	histMinExp     = -20 // smallest upper bound 2^-20 ≈ 9.5e-7
+	histMaxExp     = 30  // largest finite upper bound 2^30 ≈ 1.07e9
+	histNumBuckets = histMaxExp - histMinExp + 1
+)
+
+// HistogramUpperBound returns the inclusive upper bound of finite bucket
+// i (0 ≤ i < histNumBuckets), i.e. 2^(i+histMinExp).
+func HistogramUpperBound(i int) float64 {
+	return math.Ldexp(1, i+histMinExp)
+}
+
+// histBucketIndex maps a positive observation to its bucket: the
+// smallest i with v ≤ HistogramUpperBound(i). Results ≥ histNumBuckets
+// mean overflow.
+func histBucketIndex(v float64) int {
+	f, exp := math.Frexp(v) // v = f·2^exp, f ∈ [0.5, 1)
+	idx := exp - histMinExp
+	if f == 0.5 {
+		idx-- // v is exactly 2^(exp-1): it belongs in the lower bucket
+	}
+	if idx < 0 {
+		return 0
+	}
+	return idx
+}
+
+// Histogram is a log₂-bucketed distribution metric: fixed bucket layout,
+// lock-free atomic counters, safe for concurrent use, and nil-tolerant
+// like every other metric in this package. Observe never allocates, so
+// hot solver loops can record per-iteration values unconditionally.
+type Histogram struct {
+	counts   [histNumBuckets]atomic.Int64
+	overflow atomic.Int64
+	sumBits  atomic.Uint64
+}
+
+// Observe records one value. Non-positive values land in the smallest
+// bucket (the paper's measures are all non-negative; zeros come from
+// e.g. instant cache replies). NaN is dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if v <= 0 {
+		h.counts[0].Add(1)
+		return
+	}
+	idx := histBucketIndex(v)
+	if idx >= histNumBuckets {
+		h.overflow.Add(1)
+		return
+	}
+	h.counts[idx].Add(1)
+}
+
+// HistogramBucket is one occupied bucket of a snapshot: Count
+// observations with value ≤ Le (and above the next-lower bound).
+type HistogramBucket struct {
+	// Le is the inclusive upper bound of the bucket, always a power of 2.
+	Le    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// HistogramStats is a point-in-time copy of a histogram. Buckets holds
+// only occupied finite buckets, ascending by bound; Overflow counts
+// observations beyond the largest finite bound. Count is the sum of all
+// bucket counts (including overflow), so the derived cumulative series
+// is always self-consistent even when the snapshot raced concurrent
+// observers; Sum may then lag by the in-flight observations.
+type HistogramStats struct {
+	Count    int64             `json:"count"`
+	Sum      float64           `json:"sum"`
+	Buckets  []HistogramBucket `json:"buckets,omitempty"`
+	Overflow int64             `json:"overflow,omitempty"`
+}
+
+// Stats copies the current distribution. A nil histogram yields the zero
+// stats.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil {
+		return HistogramStats{}
+	}
+	s := HistogramStats{Sum: math.Float64frombits(h.sumBits.Load())}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, HistogramBucket{Le: HistogramUpperBound(i), Count: c})
+		s.Count += c
+	}
+	s.Overflow = h.overflow.Load()
+	s.Count += s.Overflow
+	return s
+}
+
+// Merge returns the combined distribution of s and o. Both sides share
+// the package's fixed bucket layout, so merging is exact: counts add
+// bucket by bucket.
+func (s HistogramStats) Merge(o HistogramStats) HistogramStats {
+	out := HistogramStats{
+		Count:    s.Count + o.Count,
+		Sum:      s.Sum + o.Sum,
+		Overflow: s.Overflow + o.Overflow,
+	}
+	i, j := 0, 0
+	for i < len(s.Buckets) || j < len(o.Buckets) {
+		switch {
+		case j >= len(o.Buckets) || (i < len(s.Buckets) && s.Buckets[i].Le < o.Buckets[j].Le):
+			out.Buckets = append(out.Buckets, s.Buckets[i])
+			i++
+		case i >= len(s.Buckets) || o.Buckets[j].Le < s.Buckets[i].Le:
+			out.Buckets = append(out.Buckets, o.Buckets[j])
+			j++
+		default:
+			out.Buckets = append(out.Buckets, HistogramBucket{
+				Le:    s.Buckets[i].Le,
+				Count: s.Buckets[i].Count + o.Buckets[j].Count,
+			})
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by geometric
+// interpolation within the containing bucket — the natural choice for
+// log-scaled buckets, exact up to the factor-of-two bucket resolution.
+// An empty distribution yields NaN; a quantile landing in the overflow
+// bucket reports the largest finite bound.
+func (s HistogramStats) Quantile(q float64) float64 {
+	if s.Count == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for _, b := range s.Buckets {
+		prev := cum
+		cum += float64(b.Count)
+		if cum >= rank {
+			frac := (rank - prev) / float64(b.Count)
+			// Bucket spans (Le/2, Le]; interpolate in log space.
+			return b.Le / 2 * math.Pow(2, frac)
+		}
+	}
+	return HistogramUpperBound(histNumBuckets - 1)
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int // expected bucket index
+	}{
+		{1, 20},      // exactly 2^0 → upper bound 1
+		{1.5, 21},    // (1, 2] → upper bound 2
+		{2, 21},      // exactly 2^1 stays in its own bucket
+		{2.0001, 22}, // just past a bound moves up
+		{0.5, 19},    // exactly 2^-1
+		{1e-9, 0},    // below the smallest bound clamps to bucket 0
+	}
+	for _, c := range cases {
+		if got := histBucketIndex(c.v); got != c.want {
+			t.Errorf("histBucketIndex(%g) = %d (le=%g), want %d (le=%g)",
+				c.v, got, HistogramUpperBound(got), c.want, HistogramUpperBound(c.want))
+		}
+	}
+	// The invariant behind the layout: v ≤ bound(idx) and v > bound(idx-1).
+	for _, v := range []float64{0.001, 0.1, 0.7, 1, 3, 100, 1e6, 1e9} {
+		idx := histBucketIndex(v)
+		if v > HistogramUpperBound(idx) {
+			t.Errorf("v=%g above its bucket bound %g", v, HistogramUpperBound(idx))
+		}
+		if idx > 0 && v <= HistogramUpperBound(idx-1) {
+			t.Errorf("v=%g fits the lower bucket %g", v, HistogramUpperBound(idx-1))
+		}
+	}
+}
+
+func TestHistogramObserveAndStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{0.75, 3, 3, 2e9, 0, -1, math.NaN()} {
+		h.Observe(v)
+	}
+	s := h.Stats()
+	if s.Count != 6 { // NaN dropped; 0 and -1 land in bucket 0
+		t.Errorf("count = %d, want 6", s.Count)
+	}
+	if s.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1 (2e9 > 2^30)", s.Overflow)
+	}
+	wantSum := 0.75 + 3 + 3 + 2e9 - 1
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+	// Occupied buckets ascend and cover exactly the observed values.
+	counts := map[float64]int64{}
+	prev := math.Inf(-1)
+	for _, b := range s.Buckets {
+		if b.Le <= prev {
+			t.Errorf("buckets not ascending: %g after %g", b.Le, prev)
+		}
+		prev = b.Le
+		counts[b.Le] = b.Count
+	}
+	if counts[1] != 1 || counts[4] != 2 {
+		t.Errorf("buckets = %+v", s.Buckets)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	s := h.Stats()
+	if s.Count != 0 || len(s.Buckets) != 0 {
+		t.Errorf("nil stats = %+v", s)
+	}
+	if q := s.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty quantile = %g, want NaN", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for _, v := range []float64{1, 3, 1e12} {
+		a.Observe(v)
+	}
+	for _, v := range []float64{3, 500} {
+		b.Observe(v)
+	}
+	m := a.Stats().Merge(b.Stats())
+	if m.Count != 5 || m.Overflow != 1 {
+		t.Errorf("merged count/overflow = %d/%d, want 5/1", m.Count, m.Overflow)
+	}
+	// Merging must equal observing everything in one histogram.
+	var all Histogram
+	for _, v := range []float64{1, 3, 1e12, 3, 500} {
+		all.Observe(v)
+	}
+	want := all.Stats()
+	if len(m.Buckets) != len(want.Buckets) {
+		t.Fatalf("merged buckets = %+v, want %+v", m.Buckets, want.Buckets)
+	}
+	for i := range m.Buckets {
+		if m.Buckets[i] != want.Buckets[i] {
+			t.Errorf("bucket %d = %+v, want %+v", i, m.Buckets[i], want.Buckets[i])
+		}
+	}
+	if math.Abs(m.Sum-want.Sum) > 1e-3 {
+		t.Errorf("merged sum = %g, want %g", m.Sum, want.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10) // all mass in the (8, 16] bucket
+	}
+	s := h.Stats()
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		v := s.Quantile(q)
+		if v <= 8 || v > 16 {
+			t.Errorf("q%.2f = %g outside the only occupied bucket (8, 16]", q, v)
+		}
+	}
+	// Quantiles are monotone in q.
+	if s.Quantile(0.9) < s.Quantile(0.1) {
+		t.Error("quantiles not monotone")
+	}
+
+	// With mass in the overflow bucket, high quantiles report the largest
+	// finite bound rather than inventing a value.
+	var o Histogram
+	o.Observe(1e12)
+	if got := o.Stats().Quantile(0.99); got != HistogramUpperBound(histNumBuckets-1) {
+		t.Errorf("overflow quantile = %g", got)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(3.14) }); n != 0 {
+		t.Errorf("Observe allocates %.1f/op", n)
+	}
+	var nilH *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nilH.Observe(3.14) }); n != 0 {
+		t.Errorf("nil Observe allocates %.1f/op", n)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 1; i <= perG; i++ {
+				h.Observe(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Stats()
+	if s.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	wantSum := float64(goroutines) * perG * (perG + 1) / 2
+	if math.Abs(s.Sum-wantSum) > 1e-6*wantSum {
+		t.Errorf("sum = %g, want %g", s.Sum, wantSum)
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("serve.solve_ms").Observe(12)
+	reg.Histogram("serve.solve_ms").Observe(40)
+	s := reg.Snapshot()
+	h, ok := s.Histograms["serve.solve_ms"]
+	if !ok || h.Count != 2 {
+		t.Fatalf("snapshot histograms = %+v", s.Histograms)
+	}
+	// Nil registry: no-op, no panic.
+	var nilReg *Registry
+	nilReg.Histogram("x").Observe(1)
+	if n := len(nilReg.Snapshot().Histograms); n != 0 {
+		t.Errorf("nil registry has %d histograms", n)
+	}
+}

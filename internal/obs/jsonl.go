@@ -10,11 +10,14 @@ import (
 // JSONL is a Tracer that writes one JSON object per line to an io.Writer.
 // Writes are serialized by a mutex, so one sink can be shared by
 // concurrent solver workers. Encoding errors are sticky: the first one is
-// retained and reported by Err, and subsequent events are dropped.
+// retained and reported by Err, the event that hit it and every
+// subsequent one are dropped, and Dropped counts the losses so callers
+// can tell a clean trace from a truncated one.
 type JSONL struct {
-	mu  sync.Mutex
-	enc *json.Encoder
-	err error
+	mu      sync.Mutex
+	enc     *json.Encoder
+	err     error
+	dropped int64
 }
 
 // NewJSONL returns a JSON-lines tracer writing to w.
@@ -22,21 +25,37 @@ func NewJSONL(w io.Writer) *JSONL {
 	return &JSONL{enc: json.NewEncoder(w)}
 }
 
-// Emit encodes the event as one JSON line.
+// Emit encodes the event as one JSON line. After the first write error
+// the sink stops writing; the error stays visible through Err and the
+// losses through Dropped.
 func (j *JSONL) Emit(e Event) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.err != nil {
+		j.dropped++
 		return
 	}
-	j.err = j.enc.Encode(e)
+	if err := j.enc.Encode(e); err != nil {
+		j.err = err
+		j.dropped++
+	}
 }
 
-// Err reports the first encoding error, if any.
+// Err reports the first encoding error, if any. It is sticky: once set
+// it never changes, so a single check after a run surfaces the earliest
+// failure rather than the most recent one.
 func (j *JSONL) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// Dropped reports how many events were lost to the sticky error (the
+// failing event included).
+func (j *JSONL) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
 }
 
 // ReadEvents decodes a JSON-lines event stream, skipping blank lines.

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -85,6 +86,85 @@ func TestDisabledPathAllocations(t *testing.T) {
 	}); n != 0 {
 		t.Errorf("nil-tracer StartSpan allocates %.1f/op", n)
 	}
+	var reg2 *Registry
+	if n := testing.AllocsPerRun(1000, func() {
+		reg2.Histogram("lat").Observe(1.5)
+	}); n != 0 {
+		t.Errorf("nil-registry histogram observe allocates %.1f/op", n)
+	}
+	var flight *FlightRecorder
+	if n := testing.AllocsPerRun(1000, func() {
+		flight.Emit(Event{Kind: "iter", Iter: 1})
+	}); n != 0 {
+		t.Errorf("nil flight recorder Emit allocates %.1f/op", n)
+	}
+}
+
+// failAfterWriter errors on every write past the first n bytes.
+type failAfterWriter struct {
+	n       int
+	written int
+	err     error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		return 0, w.err
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestJSONLStickyError pins the failure contract: the first write error
+// is retained by Err, later events are dropped (not written, not
+// panicking), and Dropped counts every loss including the failing event.
+func TestJSONLStickyError(t *testing.T) {
+	wantErr := errors.New("disk full")
+	sink := NewJSONL(&failAfterWriter{n: 1, err: wantErr}) // first event already fails
+	IterEvent(sink, "power", 1, 0.5)
+	IterEvent(sink, "power", 2, 0.25)
+	IterEvent(sink, "power", 3, 0.125)
+	if err := sink.Err(); !errors.Is(err, wantErr) {
+		t.Errorf("Err() = %v, want %v", err, wantErr)
+	}
+	if d := sink.Dropped(); d != 3 {
+		t.Errorf("Dropped() = %d, want 3", d)
+	}
+	// A healthy sink reports no drops.
+	var buf bytes.Buffer
+	ok := NewJSONL(&buf)
+	IterEvent(ok, "power", 1, 0.5)
+	if ok.Err() != nil || ok.Dropped() != 0 {
+		t.Errorf("healthy sink: err=%v dropped=%d", ok.Err(), ok.Dropped())
+	}
+}
+
+// TestCollectorConcurrentAccess exercises Emit, Events and Reset racing —
+// run under -race this pins the Collector's locking discipline.
+func TestCollectorConcurrentAccess(t *testing.T) {
+	col := NewCollector(nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				IterEvent(col, "gs", i, 0.5)
+				if i%100 == 0 {
+					for _, e := range col.Events() {
+						_ = e.Iter
+					}
+				}
+				if g == 0 && i%250 == 0 {
+					col.Reset()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// No assertion beyond absence of races/panics; the event count is
+	// unknowable with concurrent Resets.
+	col.Events()
 }
 
 func TestDiscardTracerDropsEvents(t *testing.T) {

@@ -1,8 +1,11 @@
 // Package obs is the observability layer of the repository: a lightweight
-// metrics registry (counters, gauges, timers) with a snapshot API, and a
+// metrics registry (counters, gauges, timers, log-bucketed histograms)
+// with snapshot APIs (aligned text, JSON, Prometheus text exposition), a
 // Tracer interface with a JSON-lines sink for structured solver events
 // (spans, per-iteration residuals, multigrid level visits, Monte Carlo
-// worker progress).
+// worker progress), request-scoped trace IDs propagated through contexts
+// and stamped onto events, and an always-on FlightRecorder ring holding
+// the most recent events for postmortem dumps.
 //
 // The package is built around a zero-cost-when-disabled contract: every
 // emit helper tolerates a nil Tracer, and every registry accessor
@@ -132,18 +135,20 @@ type TimerStats struct {
 // sink: accessors return nil metrics whose methods do nothing, so
 // instrumented code can hold an optional registry without nil checks.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		timers:   make(map[string]*Timer),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		timers:     make(map[string]*Timer),
+		histograms: make(map[string]*Histogram),
 	}
 }
 
@@ -192,20 +197,37 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
-	Counters map[string]int64      `json:"counters,omitempty"`
-	Gauges   map[string]float64    `json:"gauges,omitempty"`
-	Timers   map[string]TimerStats `json:"timers,omitempty"`
+	Counters   map[string]int64          `json:"counters,omitempty"`
+	Gauges     map[string]float64        `json:"gauges,omitempty"`
+	Timers     map[string]TimerStats     `json:"timers,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the current value of every metric. A nil registry
 // yields an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
-		Counters: map[string]int64{},
-		Gauges:   map[string]float64{},
-		Timers:   map[string]TimerStats{},
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Timers:     map[string]TimerStats{},
+		Histograms: map[string]HistogramStats{},
 	}
 	if r == nil {
 		return s
@@ -223,6 +245,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.timers {
 		timers[k] = v
 	}
+	histograms := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		histograms[k] = v
+	}
 	r.mu.Unlock()
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
@@ -233,6 +259,9 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range timers {
 		s.Timers[k] = v.Stats()
 	}
+	for k, v := range histograms {
+		s.Histograms[k] = v.Stats()
+	}
 	return s
 }
 
@@ -240,7 +269,7 @@ func (r *Registry) Snapshot() Snapshot {
 // line, sorted by name within each metric family.
 func (s Snapshot) WriteText(w io.Writer) error {
 	width := 0
-	for _, m := range []int{maxKeyLen(s.Counters), maxKeyLen(s.Gauges), maxKeyLen(s.Timers)} {
+	for _, m := range []int{maxKeyLen(s.Counters), maxKeyLen(s.Gauges), maxKeyLen(s.Timers), maxKeyLen(s.Histograms)} {
 		if m > width {
 			width = m
 		}
@@ -265,6 +294,13 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		t := s.Timers[k]
 		if _, err := fmt.Fprintf(w, "%-*s  count=%d total=%v mean=%v min=%v max=%v\n",
 			width, k, t.Count, t.Total, t.Mean, t.Min, t.Max); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortedKeys(s.Histograms) {
+		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "%-*s  count=%d sum=%g p50=%g p90=%g p99=%g\n",
+			width, k, h.Count, h.Sum, h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99)); err != nil {
 			return err
 		}
 	}

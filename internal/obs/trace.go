@@ -38,6 +38,12 @@ type Event struct {
 	Total  int64 `json:"total,omitempty"`
 	// DurNS is the span duration (span_end only).
 	DurNS int64 `json:"dur_ns,omitempty"`
+	// Trace is the request-scoped trace ID the event belongs to; Parent
+	// is the root span ID of the request or job that initiated the solve.
+	// Both are stamped by WithTrace/StampFromContext wrappers and stay
+	// empty (and absent from the JSON encoding) outside traced requests.
+	Trace  string `json:"trace,omitempty"`
+	Parent string `json:"parent,omitempty"`
 }
 
 // Tracer is the sink for structured events. Implementations must be safe

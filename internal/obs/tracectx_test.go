@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace ID %q has length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestContextTraceRoundTrip(t *testing.T) {
+	ctx := ContextWithTrace(context.Background(), "trace1", "span1")
+	trace, span := TraceFromContext(ctx)
+	if trace != "trace1" || span != "span1" {
+		t.Errorf("round trip = %q/%q", trace, span)
+	}
+	if trace, span := TraceFromContext(context.Background()); trace != "" || span != "" {
+		t.Errorf("bare context = %q/%q", trace, span)
+	}
+	if trace, _ := TraceFromContext(nil); trace != "" {
+		t.Errorf("nil context = %q", trace)
+	}
+	// A nil parent context is tolerated.
+	if trace, _ := TraceFromContext(ContextWithTrace(nil, "t", "s")); trace != "t" {
+		t.Errorf("nil-base context = %q", trace)
+	}
+}
+
+func TestWithTraceStampsEvents(t *testing.T) {
+	col := NewCollector(nil)
+	tr := WithTrace(col, "trace1", "span1")
+	tr.Emit(Event{Kind: "iter", Iter: 1})
+	tr.Emit(Event{Kind: "iter", Iter: 2, Trace: "preset", Parent: "presetspan"})
+	got := col.Events()
+	if len(got) != 2 {
+		t.Fatalf("%d events", len(got))
+	}
+	if got[0].Trace != "trace1" || got[0].Parent != "span1" {
+		t.Errorf("unstamped event = %+v", got[0])
+	}
+	// Pre-existing IDs win: nested solvers keep their own attribution.
+	if got[1].Trace != "preset" || got[1].Parent != "presetspan" {
+		t.Errorf("pre-stamped event overwritten: %+v", got[1])
+	}
+
+	if got := WithTrace(nil, "t", "s"); got != nil {
+		t.Error("WithTrace(nil, ...) must stay nil")
+	}
+	if got := WithTrace(col, "", "s"); got != Tracer(col) {
+		t.Error("empty trace ID must return the sink unchanged")
+	}
+}
+
+func TestStampFromContext(t *testing.T) {
+	col := NewCollector(nil)
+	ctx := ContextWithTrace(context.Background(), "trace9", "span9")
+	StampFromContext(ctx, col).Emit(Event{Kind: "iter"})
+	if got := col.Events(); len(got) != 1 || got[0].Trace != "trace9" || got[0].Parent != "span9" {
+		t.Errorf("events = %+v", got)
+	}
+	// The disabled paths pass through untouched.
+	if got := StampFromContext(ctx, nil); got != nil {
+		t.Error("nil tracer must stay nil")
+	}
+	if got := StampFromContext(context.Background(), col); got != Tracer(col) {
+		t.Error("trace-less context must return the sink unchanged")
+	}
+	if got := StampFromContext(nil, col); got != Tracer(col) {
+		t.Error("nil context must return the sink unchanged")
+	}
+}
+
+// TestStampFromContextDisabledZeroAlloc extends the zero-cost-when-
+// disabled contract to the trace-stamping hook solvers call in
+// withDefaults: with a nil tracer it must not allocate.
+func TestStampFromContextDisabledZeroAlloc(t *testing.T) {
+	ctx := ContextWithTrace(context.Background(), "t", "s")
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = StampFromContext(ctx, nil)
+	}); n != 0 {
+		t.Errorf("nil-tracer StampFromContext allocates %.1f/op", n)
+	}
+}

@@ -98,6 +98,7 @@ type IterOptions struct {
 }
 
 func (o IterOptions) withDefaults() IterOptions {
+	o.Trace = obs.StampFromContext(o.Ctx, o.Trace)
 	if o.Tol <= 0 {
 		o.Tol = 1e-10
 	}

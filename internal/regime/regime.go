@@ -336,7 +336,7 @@ func (m *Model) Solve(cfg multigrid.Config) ([]float64, multigrid.Result, error)
 		return nil, multigrid.Result{}, err
 	}
 	if !res.Converged {
-		return nil, res, fmt.Errorf("regime: multigrid did not converge: %v", res)
+		return nil, res, fmt.Errorf("regime: multigrid %w: %v", core.ErrUnconverged, res)
 	}
 	return res.Pi, res, nil
 }

@@ -209,7 +209,14 @@ func validate(spec core.Spec) (string, error) {
 	return h, nil
 }
 
+// ms converts a duration to fractional milliseconds for histogram
+// observations.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // solve builds the model and runs the stationary analysis under ctx.
+// Both stages record latency histograms (serve.build_ms, serve.solve_ms)
+// and emit trace-stamped spans, so per-request traces and the flight
+// recorder see the engine stages alongside the solver's own events.
 func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.Model, *core.Analysis, error) {
 	if err := e.acquire(ctx); err != nil {
 		return nil, nil, err
@@ -217,8 +224,13 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.M
 	defer e.release()
 	defer e.reg.Timer("serve.solve").Time()()
 	e.reg.Counter("serve.solves").Inc()
+	tr := obs.StampFromContext(ctx, e.cfg.Tracer)
 
+	buildStart := time.Now()
+	endBuild := obs.StartSpan(tr, "serve.build")
 	m, err := core.Build(spec)
+	endBuild()
+	e.reg.Histogram("serve.build_ms").Observe(ms(time.Since(buildStart)))
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: build %s: %w", key[:12], err)
 	}
@@ -228,11 +240,19 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.M
 	mg.Ctx = ctx
 	mg.Trace = e.cfg.Tracer
 	mg.Pool = team
+	solveStart := time.Now()
+	endSolve := obs.StartSpan(tr, "serve.solve")
 	a, err := m.Solve(core.SolveOptions{Multigrid: mg})
+	endSolve()
+	e.reg.Histogram("serve.solve_ms").Observe(ms(time.Since(solveStart)))
 	if err != nil {
+		if errors.Is(err, core.ErrUnconverged) {
+			e.reg.Counter("serve.unconverged").Inc()
+		}
 		return nil, nil, fmt.Errorf("serve: solve %s: %w", key[:12], err)
 	}
 	e.reg.Counter("serve.solver_cycles").Add(int64(a.Multigrid.Cycles))
+	e.reg.Histogram("serve.solve_cycles").Observe(float64(a.Multigrid.Cycles))
 	return m, a, nil
 }
 

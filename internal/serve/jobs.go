@@ -27,19 +27,22 @@ const (
 )
 
 // JobView is the poll response of /v1/jobs/{id}. Result is present only
-// once Status is "done".
+// once Status is "done". TraceID names the trace the job's solver events
+// are stamped with; GET /v1/jobs/{id}/trace serves them.
 type JobView struct {
-	ID     string          `json:"id"`
-	Status string          `json:"status"`
-	Cached bool            `json:"cached,omitempty"`
-	Error  string          `json:"error,omitempty"`
-	Result json.RawMessage `json:"result,omitempty"`
+	ID      string          `json:"id"`
+	Status  string          `json:"status"`
+	TraceID string          `json:"trace_id,omitempty"`
+	Cached  bool            `json:"cached,omitempty"`
+	Error   string          `json:"error,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
 }
 
 // job is the internal record behind a JobView.
 type job struct {
-	id  string
-	run func(context.Context) ([]byte, bool, error)
+	id    string
+	trace string
+	run   func(context.Context) ([]byte, bool, error)
 
 	mu     sync.Mutex
 	status string
@@ -51,7 +54,7 @@ type job struct {
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobView{ID: j.id, Status: j.status, Cached: j.cached, Error: j.err, Result: j.body}
+	return JobView{ID: j.id, Status: j.status, TraceID: j.trace, Cached: j.cached, Error: j.err, Result: j.body}
 }
 
 func (j *job) set(status string, body []byte, cached bool, err error) {
@@ -119,7 +122,14 @@ func (j *Jobs) worker() {
 	for t := range j.queue {
 		j.reg.Gauge("serve.jobs_queued").Set(float64(len(j.queue)))
 		t.set(StatusRunning, nil, false, nil)
-		body, cached, err := t.run(j.baseCtx)
+		// Jobs run under the pool's own context (a disconnected submitter
+		// must not kill them) but keep the submitting request's trace
+		// identity, so solver events stay attributable to the request.
+		ctx := j.baseCtx
+		if t.trace != "" {
+			ctx = obs.ContextWithTrace(ctx, t.trace, t.id)
+		}
+		body, cached, err := t.run(ctx)
 		switch {
 		case err == nil:
 			t.set(StatusDone, body, cached, nil)
@@ -147,16 +157,19 @@ func (j *Jobs) retire(id string) {
 }
 
 // Submit enqueues run for asynchronous execution and returns the job ID.
-// A full queue returns ErrQueueFull immediately (never blocks): that
-// backpressure is the contract that keeps the daemon responsive.
-func (j *Jobs) Submit(run func(context.Context) ([]byte, bool, error)) (string, error) {
+// trace is the submitting request's trace ID (empty for untraced
+// submissions); the job's context carries it so solver events stay tied
+// to the request. A full queue returns ErrQueueFull immediately (never
+// blocks): that backpressure is the contract that keeps the daemon
+// responsive.
+func (j *Jobs) Submit(trace string, run func(context.Context) ([]byte, bool, error)) (string, error) {
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
 		return "", ErrShuttingDown
 	}
 	j.seq++
-	t := &job{id: fmt.Sprintf("job-%06d", j.seq), run: run, status: StatusQueued}
+	t := &job{id: fmt.Sprintf("job-%06d", j.seq), trace: trace, run: run, status: StatusQueued}
 	j.jobs[t.id] = t
 	j.mu.Unlock()
 

@@ -29,7 +29,7 @@ func TestJobsLifecycle(t *testing.T) {
 	jobs := NewJobs(1, 4, obs.NewRegistry())
 	defer jobs.Close()
 
-	id, err := jobs.Submit(func(context.Context) ([]byte, bool, error) {
+	id, err := jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 		return []byte(`{"x":1}`), true, nil
 	})
 	if err != nil {
@@ -40,7 +40,7 @@ func TestJobsLifecycle(t *testing.T) {
 		t.Errorf("view = %+v", v)
 	}
 
-	id, err = jobs.Submit(func(context.Context) ([]byte, bool, error) {
+	id, err = jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 		return nil, false, errors.New("boom")
 	})
 	if err != nil {
@@ -57,7 +57,7 @@ func TestJobsBackpressure(t *testing.T) {
 	jobs := NewJobs(1, 1, reg)
 
 	block := make(chan struct{})
-	running, err := jobs.Submit(func(context.Context) ([]byte, bool, error) {
+	running, err := jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 		<-block
 		return nil, false, nil
 	})
@@ -66,14 +66,14 @@ func TestJobsBackpressure(t *testing.T) {
 	}
 	waitStatus(t, jobs, running, StatusRunning) // the worker is now occupied
 
-	queued, err := jobs.Submit(func(context.Context) ([]byte, bool, error) {
+	queued, err := jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 		return nil, false, nil
 	})
 	if err != nil {
 		t.Fatalf("queue of depth 1 rejected its first entry: %v", err)
 	}
 
-	if _, err := jobs.Submit(func(context.Context) ([]byte, bool, error) {
+	if _, err := jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 		return nil, false, nil
 	}); !errors.Is(err, ErrQueueFull) {
 		t.Errorf("err = %v, want ErrQueueFull", err)
@@ -92,7 +92,7 @@ func TestJobsGracefulDrain(t *testing.T) {
 	ids := make([]string, 6)
 	for i := range ids {
 		var err error
-		ids[i], err = jobs.Submit(func(context.Context) ([]byte, bool, error) {
+		ids[i], err = jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 			time.Sleep(time.Millisecond)
 			return []byte("done"), false, nil
 		})
@@ -108,7 +108,7 @@ func TestJobsGracefulDrain(t *testing.T) {
 			t.Errorf("job %s after drain: %+v (present %v)", id, v, ok)
 		}
 	}
-	if _, err := jobs.Submit(func(context.Context) ([]byte, bool, error) {
+	if _, err := jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 		return nil, false, nil
 	}); !errors.Is(err, ErrShuttingDown) {
 		t.Errorf("submit after close: err = %v, want ErrShuttingDown", err)
@@ -117,7 +117,7 @@ func TestJobsGracefulDrain(t *testing.T) {
 
 func TestJobsCancelAll(t *testing.T) {
 	jobs := NewJobs(1, 2, nil)
-	id, err := jobs.Submit(func(ctx context.Context) ([]byte, bool, error) {
+	id, err := jobs.Submit("", func(ctx context.Context) ([]byte, bool, error) {
 		<-ctx.Done()
 		return nil, false, fmt.Errorf("stopped: %w", ctx.Err())
 	})
@@ -138,7 +138,7 @@ func TestJobsEvictOldFinished(t *testing.T) {
 	var first string
 	for i := 0; i < maxFinishedJobs+8; i++ {
 		for {
-			id, err := jobs.Submit(func(context.Context) ([]byte, bool, error) {
+			id, err := jobs.Submit("", func(context.Context) ([]byte, bool, error) {
 				return nil, false, nil
 			})
 			if errors.Is(err, ErrQueueFull) {

@@ -5,9 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"strings"
 	"time"
 
+	"cdrstoch/internal/buildinfo"
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/obs"
 )
@@ -32,7 +35,16 @@ type ServerConfig struct {
 	// /metrics. May be nil.
 	Registry *obs.Registry
 	// Tracer receives solver events for cache-miss solves. May be nil.
+	// The server always tees the flight recorder in front of it, so a nil
+	// Tracer still leaves the postmortem ring populated.
 	Tracer obs.Tracer
+	// FlightSize bounds the always-on flight recorder ring (recent solver
+	// events kept for postmortem dumps). Default obs.DefaultFlightSize.
+	FlightSize int
+	// ErrorLog receives the flight-recorder dump when a solve fails with
+	// cancellation or non-convergence. Nil disables log dumps (the dump
+	// still rides the error response).
+	ErrorLog *log.Logger
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -65,15 +77,22 @@ type Server struct {
 	engine *Engine
 	jobs   *Jobs
 	reg    *obs.Registry
+	flight *obs.FlightRecorder
 }
 
 // NewServer returns a ready Server.
 func NewServer(cfg ServerConfig) *Server {
 	cfg = cfg.withDefaults()
+	// The flight recorder sits in front of any configured tracer: always
+	// on, overwrite-oldest, so every solve leaves a postmortem trail even
+	// when nothing else is listening.
+	flight := obs.NewFlightRecorder(cfg.FlightSize)
+	cfg.Engine.Tracer = obs.Tee(flight, cfg.Engine.Tracer)
 	return &Server{
 		cfg:    cfg,
 		engine: NewEngine(cfg.Engine),
 		reg:    cfg.Registry,
+		flight: flight,
 		jobs:   NewJobs(cfg.Workers, cfg.QueueDepth, cfg.Registry),
 	}
 }
@@ -89,22 +108,53 @@ func (s *Server) Close() { s.jobs.Close() }
 // deadline.
 func (s *Server) CancelJobs() { s.jobs.CancelAll() }
 
-// Handler returns the service mux.
+// Handler returns the service mux wrapped in the tracing middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/analyze", s.handleSolve("analyze", s.engine.Analyze))
 	mux.HandleFunc("POST /v1/slip", s.handleSolve("slip", s.engine.Slip))
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	return s.traced(mux)
 }
 
-// errorBody is the uniform error response shape.
-type errorBody struct {
-	Error string `json:"error"`
+// traced is the tracing middleware: every request gets a trace ID
+// (adopted from X-Trace-Id when the client sent one, minted otherwise)
+// and a root span ID, carried by the request context into the engine and
+// solvers, stamped onto every event they emit, and echoed back in the
+// X-Trace-Id response header so clients can correlate responses with
+// traces and flight-recorder dumps.
+func (s *Server) traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get("X-Trace-Id")
+		if trace == "" {
+			trace = obs.NewTraceID()
+		}
+		span := obs.NewTraceID()
+		w.Header().Set("X-Trace-Id", trace)
+		next.ServeHTTP(w, r.WithContext(obs.ContextWithTrace(r.Context(), trace, span)))
+	})
 }
+
+// errorBody is the uniform error response shape. Solver failures
+// (cancellation, timeout, non-convergence, internal errors) carry the
+// request's trace ID and the flight-recorder tail for that trace, so the
+// evidence of what the solver was doing ships with the failure.
+type errorBody struct {
+	Error   string      `json:"error"`
+	TraceID string      `json:"trace_id,omitempty"`
+	Flight  []obs.Event `json:"flight,omitempty"`
+}
+
+// flightTailMax bounds the flight events attached to one error response.
+const flightTailMax = 64
+
+// flightTraceMax bounds the events served by /v1/jobs/{id}/trace.
+const flightTraceMax = 512
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	b, err := json.Marshal(v)
@@ -120,7 +170,9 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 // writeError maps engine errors onto HTTP statuses: client errors to 400,
 // deadline overruns to 504, client disconnects to 499 (nginx's
 // convention; the client is gone either way), everything else to 500.
-func (s *Server) writeError(w http.ResponseWriter, err error) {
+// Solver failures (every status outside the client-fault range) attach
+// the request's flight-recorder tail and dump it to the error log.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
 	code := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, ErrBadRequest):
@@ -135,8 +187,32 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrShuttingDown):
 		code = http.StatusServiceUnavailable
 	}
+	body := errorBody{Error: err.Error()}
+	if code >= 500 || code == 499 {
+		if trace, _ := obs.TraceFromContext(r.Context()); trace != "" {
+			body.TraceID = trace
+			body.Flight = s.flight.TailFor(trace, flightTailMax)
+			s.dumpFlight(trace, err, body.Flight)
+		}
+	}
 	s.reg.Counter(fmt.Sprintf("serve.http_%d", code)).Inc()
-	s.writeJSON(w, code, errorBody{Error: err.Error()})
+	s.writeJSON(w, code, body)
+}
+
+// dumpFlight writes a failed solve's flight-recorder tail to the error
+// log, one JSON line per event, so postmortems survive even when the
+// client discards the error response.
+func (s *Server) dumpFlight(trace string, cause error, events []obs.Event) {
+	if s.cfg.ErrorLog == nil {
+		return
+	}
+	s.reg.Counter("serve.flight_dumps").Inc()
+	s.cfg.ErrorLog.Printf("trace %s failed: %v; flight tail (%d events):", trace, cause, len(events))
+	for _, e := range events {
+		if b, err := json.Marshal(e); err == nil {
+			s.cfg.ErrorLog.Printf("  %s", b)
+		}
+	}
 }
 
 // writeBody emits a finished engine body, labeling cache disposition.
@@ -169,15 +245,17 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// enqueue submits an async job and answers 202 (or 429/503).
-func (s *Server) enqueue(w http.ResponseWriter, run func(context.Context) ([]byte, bool, error)) {
-	id, err := s.jobs.Submit(run)
+// enqueue submits an async job carrying the request's trace ID and
+// answers 202 (or 429/503).
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, run func(context.Context) ([]byte, bool, error)) {
+	trace, _ := obs.TraceFromContext(r.Context())
+	id, err := s.jobs.Submit(trace, run)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.reg.Counter("serve.http_202").Inc()
-	s.writeJSON(w, http.StatusAccepted, JobView{ID: id, Status: StatusQueued})
+	s.writeJSON(w, http.StatusAccepted, JobView{ID: id, Status: StatusQueued, TraceID: trace})
 }
 
 // handleSolve serves the shared analyze/slip shape: decode, validate,
@@ -185,18 +263,20 @@ func (s *Server) enqueue(w http.ResponseWriter, run func(context.Context) ([]byt
 func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec) ([]byte, bool, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer s.reg.Timer("serve.http_" + name).Time()()
+		start := time.Now()
+		defer func() { s.reg.Histogram("serve.http_" + name + "_ms").Observe(ms(time.Since(start))) }()
 		var req solveRequest
 		if err := s.decode(w, r, &req); err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		if err := req.Spec.Validate(); err != nil {
-			s.writeError(w, badRequestf("invalid spec: %v", err))
+			s.writeError(w, r, badRequestf("invalid spec: %v", err))
 			return
 		}
 		if req.Async {
 			spec := req.Spec
-			s.enqueue(w, func(ctx context.Context) ([]byte, bool, error) {
+			s.enqueue(w, r, func(ctx context.Context) ([]byte, bool, error) {
 				return solve(ctx, spec)
 			})
 			return
@@ -205,7 +285,7 @@ func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec)
 		defer cancel()
 		body, cached, err := solve(ctx, req.Spec)
 		if err != nil {
-			s.writeError(w, err)
+			s.writeError(w, r, err)
 			return
 		}
 		s.writeBody(w, body, cached)
@@ -222,17 +302,19 @@ type sweepRequest struct {
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer s.reg.Timer("serve.http_sweep").Time()()
+	start := time.Now()
+	defer func() { s.reg.Histogram("serve.http_sweep_ms").Observe(ms(time.Since(start))) }()
 	var req sweepRequest
 	if err := s.decode(w, r, &req); err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	if err := req.Spec.Validate(); err != nil {
-		s.writeError(w, badRequestf("invalid spec: %v", err))
+		s.writeError(w, r, badRequestf("invalid spec: %v", err))
 		return
 	}
 	if req.Async {
-		s.enqueue(w, func(ctx context.Context) ([]byte, bool, error) {
+		s.enqueue(w, r, func(ctx context.Context) ([]byte, bool, error) {
 			body, err := s.engine.Sweep(ctx, req.Spec, req.Param, req.Values)
 			return body, false, err
 		})
@@ -242,7 +324,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	body, err := s.engine.Sweep(ctx, req.Spec, req.Param, req.Values)
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	s.writeBody(w, body, false)
@@ -257,29 +339,106 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, view)
 }
 
-// healthBody is the /healthz response.
+// jobTraceBody is the response of /v1/jobs/{id}/trace: the solver events
+// the flight recorder still retains for the job's trace ID, oldest
+// first. Cache-hit jobs legitimately have zero events (nothing solved),
+// and very old traces age out of the ring — Retained reports how many
+// events the response carries.
+type jobTraceBody struct {
+	ID       string      `json:"id"`
+	TraceID  string      `json:"trace_id"`
+	Status   string      `json:"status"`
+	Retained int         `json:"retained"`
+	Events   []obs.Event `json:"events"`
+}
+
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or evicted job"})
+		return
+	}
+	events := s.flight.TailFor(view.TraceID, flightTraceMax)
+	if events == nil {
+		events = []obs.Event{}
+	}
+	s.writeJSON(w, http.StatusOK, jobTraceBody{
+		ID:       view.ID,
+		TraceID:  view.TraceID,
+		Status:   view.Status,
+		Retained: len(events),
+		Events:   events,
+	})
+}
+
+// flightBody is the /debug/flight response: everything the ring
+// currently retains, plus how much history has been overwritten.
+type flightBody struct {
+	Dropped uint64      `json:"dropped"`
+	Events  []obs.Event `json:"events"`
+}
+
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	events := s.flight.Snapshot()
+	if events == nil {
+		events = []obs.Event{}
+	}
+	s.writeJSON(w, http.StatusOK, flightBody{Dropped: s.flight.Dropped(), Events: events})
+}
+
+// healthBody is the /healthz response. Version and revision come from
+// the binary's build info, so health checks attribute a running daemon
+// to a commit.
 type healthBody struct {
 	Status       string `json:"status"`
+	Version      string `json:"version"`
+	Revision     string `json:"vcs_revision,omitempty"`
 	CacheEntries int    `json:"cache_entries"`
 	QueueLength  int    `json:"queue_length"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	bi := buildinfo.Get()
 	s.writeJSON(w, http.StatusOK, healthBody{
 		Status:       "ok",
+		Version:      bi.Version,
+		Revision:     bi.Revision,
 		CacheEntries: s.engine.CacheLen(),
 		QueueLength:  len(s.jobs.queue),
 	})
 }
 
-// handleMetrics serves the obs registry snapshot — byte-identical to
-// Registry.SnapshotJSON, which tests pin.
+// handleMetrics negotiates the exposition format on the Accept header:
+// Prometheus text exposition for scrapers asking for text/plain (the
+// standard scrape Accept is "text/plain; version=0.0.4") or
+// OpenMetrics, and otherwise the registry's JSON snapshot —
+// byte-identical to Registry.SnapshotJSON, which tests pin, so existing
+// JSON consumers see exactly the bytes they always did.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if acceptsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
+			s.reg.Counter("serve.metrics_write_errors").Inc()
+		}
+		return
+	}
 	b, err := s.reg.SnapshotJSON()
 	if err != nil {
-		s.writeError(w, err)
+		s.writeError(w, r, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b)
+}
+
+// acceptsPrometheus reports whether the Accept header asks for the
+// Prometheus text exposition. An explicit application/json wish wins
+// even when text/plain also appears, keeping curl-with-defaults and all
+// pre-existing JSON clients on the stable JSON snapshot.
+func acceptsPrometheus(accept string) bool {
+	if strings.Contains(accept, "application/json") {
+		return false
+	}
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }

@@ -1,0 +1,278 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"cdrstoch/internal/multigrid"
+)
+
+// getWithHeaders issues a GET with extra headers and returns the response
+// and its body.
+func getWithHeaders(t *testing.T, url string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// TestServerMetricsContentNegotiation pins the /metrics contract: a
+// Prometheus scrape Accept header gets the text exposition (with
+// histogram bucket/sum/count series), an explicit application/json or a
+// bare GET keeps the byte-stable JSON snapshot.
+func TestServerMetricsContentNegotiation(t *testing.T) {
+	_, ts, reg := newTestServer(t, ServerConfig{})
+	postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: testSpec(t)}) // populate histograms
+
+	resp, body := getWithHeaders(t, ts.URL+"/metrics", map[string]string{
+		"Accept": "text/plain; version=0.0.4",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE serve_solves counter",
+		"serve_solves 1",
+		"# TYPE serve_solve_ms histogram",
+		`serve_solve_ms_bucket{le="+Inf"}`,
+		"serve_solve_ms_sum",
+		"serve_solve_ms_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if json.Valid(body) {
+		t.Error("Prometheus exposition should not be JSON")
+	}
+
+	// Explicit JSON wish wins even when text/plain also appears.
+	resp, body = getWithHeaders(t, ts.URL+"/metrics", map[string]string{
+		"Accept": "application/json, text/plain",
+	})
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("JSON Content-Type = %q", ct)
+	}
+	want, err := reg.SnapshotJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("negotiated JSON diverges from SnapshotJSON")
+	}
+}
+
+// TestServerTraceIDMiddleware checks that every response carries a trace
+// ID and that a client-supplied one is adopted rather than replaced.
+func TestServerTraceIDMiddleware(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerConfig{})
+
+	resp, _ := mustGet(t, ts.URL+"/healthz")
+	if got := resp.Header.Get("X-Trace-Id"); len(got) != 16 {
+		t.Errorf("minted X-Trace-Id = %q, want 16 hex chars", got)
+	}
+
+	resp, _ = getWithHeaders(t, ts.URL+"/healthz", map[string]string{"X-Trace-Id": "client-trace-0001"})
+	if got := resp.Header.Get("X-Trace-Id"); got != "client-trace-0001" {
+		t.Errorf("adopted X-Trace-Id = %q", got)
+	}
+}
+
+// TestServerUnconvergedCarriesFlight is the postmortem acceptance test: a
+// solve forced to fail convergence (one multigrid cycle) answers 5xx with
+// the request's trace ID and a flight-recorder tail whose every event is
+// stamped with that trace, and the dump also lands in the error log.
+func TestServerUnconvergedCarriesFlight(t *testing.T) {
+	var logBuf bytes.Buffer
+	_, ts, reg := newTestServer(t, ServerConfig{
+		Engine:   EngineConfig{Multigrid: multigrid.Config{MaxCycles: 1}},
+		ErrorLog: log.New(&logBuf, "", 0),
+	})
+
+	b, err := json.Marshal(solveRequest{Spec: testSpec(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", "unconv-trace-0001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d (%s), want 500", resp.StatusCode, body)
+	}
+
+	var eb errorBody
+	if err := json.Unmarshal(body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.Error, "did not converge") {
+		t.Errorf("error = %q, want non-convergence", eb.Error)
+	}
+	if eb.TraceID != "unconv-trace-0001" {
+		t.Errorf("trace_id = %q", eb.TraceID)
+	}
+	if len(eb.Flight) == 0 {
+		t.Fatal("error response carries no flight tail")
+	}
+	for i, e := range eb.Flight {
+		if e.Trace != "unconv-trace-0001" {
+			t.Errorf("flight event %d has trace %q", i, e.Trace)
+		}
+	}
+	if got := reg.Snapshot().Counters["serve.unconverged"]; got != 1 {
+		t.Errorf("serve.unconverged = %d, want 1", got)
+	}
+	if got := reg.Snapshot().Counters["serve.flight_dumps"]; got != 1 {
+		t.Errorf("serve.flight_dumps = %d, want 1", got)
+	}
+	if !strings.Contains(logBuf.String(), "unconv-trace-0001") {
+		t.Error("error log carries no flight dump")
+	}
+}
+
+// TestServerJobTraceEndpoint submits an async solve under a known trace
+// ID and reads its solver events back from /v1/jobs/{id}/trace.
+func TestServerJobTraceEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerConfig{})
+
+	b, err := json.Marshal(solveRequest{Spec: testSpec(t), Async: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/analyze", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", "job-trace-000001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST: %d %s", resp.StatusCode, body)
+	}
+	var job JobView
+	if err := json.Unmarshal(body, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.TraceID != "job-trace-000001" {
+		t.Fatalf("202 trace_id = %q", job.TraceID)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for job.Status != StatusDone {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", job.Status)
+		}
+		time.Sleep(time.Millisecond)
+		_, body = mustGet(t, ts.URL+"/v1/jobs/"+job.ID)
+		if err := json.Unmarshal(body, &job); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, body = mustGet(t, ts.URL+"/v1/jobs/"+job.ID+"/trace")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace GET: %d %s", resp.StatusCode, body)
+	}
+	var tr jobTraceBody
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.TraceID != "job-trace-000001" || tr.Status != StatusDone {
+		t.Errorf("trace body = %+v", tr)
+	}
+	if tr.Retained == 0 || len(tr.Events) != tr.Retained {
+		t.Fatalf("retained=%d events=%d; cache-miss solve must leave events", tr.Retained, len(tr.Events))
+	}
+	for i, e := range tr.Events {
+		if e.Trace != "job-trace-000001" {
+			t.Errorf("event %d trace = %q", i, e.Trace)
+		}
+	}
+
+	resp, _ = mustGet(t, ts.URL+"/v1/jobs/job-999999/trace")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job trace: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerDebugFlight checks the always-on ring is readable on demand.
+func TestServerDebugFlight(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerConfig{})
+	postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: testSpec(t)})
+
+	resp, body := mustGet(t, ts.URL+"/debug/flight")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var fb flightBody
+	if err := json.Unmarshal(body, &fb); err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Events) == 0 {
+		t.Error("flight ring empty after a cache-miss solve")
+	}
+	for i, e := range fb.Events {
+		if e.Trace == "" {
+			t.Errorf("flight event %d unstamped: %+v", i, e)
+		}
+	}
+}
+
+// TestServerFlightAlwaysOnWithNilTracer proves the recorder works with no
+// configured tracer at all — the tee keeps the ring populated.
+func TestServerFlightAlwaysOnWithNilTracer(t *testing.T) {
+	s, ts, _ := newTestServer(t, ServerConfig{Tracer: nil})
+	postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: testSpec(t)})
+	if got := len(s.flight.Snapshot()); got == 0 {
+		t.Error("flight recorder empty despite a solve")
+	}
+	// A cache hit must add no solver events: silence is the cache proof.
+	before := len(s.flight.Snapshot())
+	postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: testSpec(t)})
+	if got := len(s.flight.Snapshot()); got != before {
+		t.Errorf("cache hit grew the flight ring %d -> %d", before, got)
+	}
+}

@@ -201,12 +201,12 @@ func TestServerQueueBackpressure(t *testing.T) {
 		<-block
 		return nil, false, nil
 	}
-	running, err := s.jobs.Submit(blocker)
+	running, err := s.jobs.Submit("", blocker)
 	if err != nil {
 		t.Fatal(err)
 	}
 	waitStatus(t, s.jobs, running, StatusRunning)
-	if _, err := s.jobs.Submit(blocker); err != nil {
+	if _, err := s.jobs.Submit("", blocker); err != nil {
 		t.Fatal(err)
 	}
 
@@ -231,6 +231,9 @@ func TestServerHealthz(t *testing.T) {
 	}
 	if health.Status != "ok" {
 		t.Errorf("health = %+v", health)
+	}
+	if health.Version == "" {
+		t.Error("healthz carries no build version")
 	}
 }
 
