@@ -10,7 +10,35 @@
 #     ./ci.sh
 #
 # It needs only the Go toolchain — no external dependencies.
+#
+#     ./ci.sh chaos
+#
+# runs only the chaos stage (the fault-injection suite under -race,
+# replayed across a fixed seed matrix). The suite self-skips under
+# `go test -short`, so short CI legs stay fast automatically.
 set -eu
+
+# chaos_stage replays the deterministic fault-injection suite (storms at
+# every seam: solver entry, cache insert/evict, singleflight leader,
+# job dequeue, cycle boundaries) across a fixed seed matrix, under the
+# race detector. Seeds are pinned so a CI failure reproduces locally
+# with the printed CDR_FAULTS_SEED.
+chaos_stage() {
+    echo "== chaos (fault-injection suite, -race, seed matrix) =="
+    for seed in 1 7 42; do
+        echo "-- CDR_FAULTS_SEED=$seed"
+        CDR_FAULTS_SEED="$seed" go test -race -count=1 ./internal/faults
+        CDR_FAULTS_SEED="$seed" go test -race -count=1 \
+            -run 'Chaos|CachedLeaderDeath|LeaderPanic|JobsShed|SubmitCloseRace|RequestTimeout' \
+            ./internal/serve
+    done
+}
+
+if [ "${1:-}" = "chaos" ]; then
+    chaos_stage
+    echo "== ci.sh: chaos gate passed =="
+    exit 0
+fi
 
 echo "== go vet =="
 go vet ./...
@@ -20,6 +48,8 @@ go build ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+chaos_stage
 
 echo "== bench smoke (1 iteration per benchmark) =="
 go test -run '^$' -bench 'BenchmarkStationary|BenchmarkFig3MatrixForm' \

@@ -34,6 +34,7 @@ import (
 
 	"cdrstoch/internal/buildinfo"
 	"cdrstoch/internal/cliutil"
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/serve"
 )
 
@@ -56,6 +57,16 @@ func main() {
 	}
 	obsrv := app.Setup()
 
+	// Chaos runs arm injection points via CDR_FAULTS (seeded by
+	// CDR_FAULTS_SEED); unset leaves injection disabled at zero cost.
+	inj, err := faults.FromEnv(obsrv.Registry)
+	if err != nil {
+		app.Fatal(err)
+	}
+	if inj != nil {
+		fmt.Printf("cdrserved: %s\n", inj)
+	}
+
 	srv := serve.NewServer(serve.ServerConfig{
 		Engine: serve.EngineConfig{
 			CacheEntries:  *cacheN,
@@ -68,6 +79,7 @@ func main() {
 		Registry:    obsrv.Registry,
 		Tracer:      obsrv.Tracer,
 		FlightSize:  *flightN,
+		Faults:      inj,
 		ErrorLog:    log.New(os.Stderr, "cdrserved: ", log.LstdFlags|log.LUTC),
 	})
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
 )
 
@@ -43,6 +44,10 @@ type GMRESOptions struct {
 	// Ws supplies reusable solve buffers and the worker team; nil uses a
 	// private workspace.
 	Ws *Workspace
+	// Faults arms the gmres.restart injection point, hit at every restart
+	// boundary alongside the Ctx check. Nil (the default) disables
+	// injection at the cost of one branch per restart.
+	Faults *faults.Injector
 }
 
 func (o GMRESOptions) withDefaults() GMRESOptions {
@@ -133,6 +138,11 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 				return res, fmt.Errorf("markov: gmres solve stopped after %d matvecs (residual %.3e): %w",
 					matvecs, res.Residual, err)
 			}
+		}
+		if err := opt.Faults.FireCtx(opt.Ctx, "gmres.restart"); err != nil {
+			res.Pi = x
+			return res, fmt.Errorf("markov: gmres solve stopped after %d matvecs (residual %.3e): %w",
+				matvecs, res.Residual, err)
 		}
 		// r = b − A·x
 		apply(w, x)

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
 	"cdrstoch/internal/spmat"
 )
@@ -164,6 +165,10 @@ type Options struct {
 	// Workspace to consecutive solves removes the per-solve buffer and
 	// team setup; nil uses a private workspace.
 	Ws *Workspace
+	// Faults arms the markov.sweep injection point, hit at every sweep
+	// boundary alongside the Ctx check. Nil (the default) disables
+	// injection at the cost of one branch per sweep.
+	Faults *faults.Injector
 }
 
 // workspace returns the caller-supplied workspace or a private one,
@@ -177,14 +182,17 @@ func (o Options) workspace(n int) *Workspace {
 	return ws
 }
 
-// ctxErr reports the context error to surface at a sweep boundary, nil
-// when the solve should continue. name and progress label the partial
-// result in the returned error.
+// ctxErr reports the context error or injected fault to surface at a
+// sweep boundary, nil when the solve should continue. name and progress
+// label the partial result in the returned error.
 func (o Options) ctxErr(name string, iterations int, residual float64) error {
-	if o.Ctx == nil {
-		return nil
+	if o.Ctx != nil {
+		if err := o.Ctx.Err(); err != nil {
+			return fmt.Errorf("markov: %s solve stopped after %d sweeps (residual %.3e): %w",
+				name, iterations, residual, err)
+		}
 	}
-	if err := o.Ctx.Err(); err != nil {
+	if err := o.Faults.FireCtx(o.Ctx, "markov.sweep"); err != nil {
 		return fmt.Errorf("markov: %s solve stopped after %d sweeps (residual %.3e): %w",
 			name, iterations, residual, err)
 	}

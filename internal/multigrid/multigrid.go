@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/lump"
 	"cdrstoch/internal/obs"
 	"cdrstoch/internal/spmat"
@@ -79,6 +80,10 @@ type Config struct {
 	// solves do not oversubscribe the machine). The solver never closes
 	// a caller-supplied pool.
 	Pool *spmat.Pool
+	// Faults arms the multigrid.cycle injection point, hit at every cycle
+	// boundary alongside the Ctx check. Nil (the default) disables
+	// injection at the cost of one branch per cycle.
+	Faults *faults.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -352,6 +357,10 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 				return Result{}, fmt.Errorf("multigrid: solve stopped after %d of %d cycles (residual %.3e): %w",
 					res.Cycles, s.cfg.MaxCycles, res.Residual, cerr)
 			}
+		}
+		if ferr := s.cfg.Faults.FireCtx(s.cfg.Ctx, "multigrid.cycle"); ferr != nil {
+			return Result{}, fmt.Errorf("multigrid: solve stopped after %d of %d cycles (residual %.3e): %w",
+				res.Cycles, s.cfg.MaxCycles, res.Residual, ferr)
 		}
 		s.curCycle = c
 		x, err = s.cycle(0, x)

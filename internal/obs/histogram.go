@@ -54,6 +54,13 @@ type Histogram struct {
 // Observe records one value. Non-positive values land in the smallest
 // bucket (the paper's measures are all non-negative; zeros come from
 // e.g. instant cache replies). NaN is dropped.
+//
+// The sum update is a compare-and-swap loop on the float's bit pattern:
+// under concurrent observers every contribution is added exactly once —
+// a lost CAS retries against the fresh value, so contributions are never
+// dropped or double-counted. Only the addition ORDER is scheduling-
+// dependent, so concurrent runs may differ in the last ulps of Sum;
+// integer-valued observations that fit a float64 exactly sum exactly.
 func (h *Histogram) Observe(v float64) {
 	if h == nil || math.IsNaN(v) {
 		return
@@ -90,7 +97,11 @@ type HistogramBucket struct {
 // observations beyond the largest finite bound. Count is the sum of all
 // bucket counts (including overflow), so the derived cumulative series
 // is always self-consistent even when the snapshot raced concurrent
-// observers; Sum may then lag by the in-flight observations.
+// observers. Observe updates the sum before the bucket count, so a
+// racing snapshot's Sum may transiently LEAD Count by the in-flight
+// observations (never lag: a counted observation is always in Sum).
+// Once observers quiesce, Sum and the bucket counts agree exactly.
+// Merge operates on snapshot copies and needs no synchronization.
 type HistogramStats struct {
 	Count    int64             `json:"count"`
 	Sum      float64           `json:"sum"`

@@ -171,6 +171,75 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestHistogramSumExactUnderContention verifies the documented CAS
+// guarantee: under concurrent observers every contribution lands exactly
+// once. The observations are small integers, whose float64 sums are
+// exact regardless of addition order, so the final Sum must match the
+// closed form EXACTLY — a single lost or double-counted CAS shifts it by
+// at least 1. Concurrent Stats/Merge readers run throughout to pin the
+// snapshot path's race-freedom under -race.
+func TestHistogramSumExactUnderContention(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 20000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Snapshots taken mid-race must stay self-consistent:
+				// Count is derived from the bucket counts, and Merge of a
+				// snapshot with itself doubles every field.
+				s := h.Stats()
+				var fromBuckets int64
+				for _, b := range s.Buckets {
+					fromBuckets += b.Count
+				}
+				if s.Count != fromBuckets+s.Overflow {
+					t.Errorf("snapshot count %d != buckets %d + overflow %d",
+						s.Count, fromBuckets, s.Overflow)
+					return
+				}
+				m := s.Merge(s)
+				if m.Count != 2*s.Count || m.Sum != 2*s.Sum {
+					t.Errorf("self-merge: count %d sum %g, want %d %g",
+						m.Count, m.Sum, 2*s.Count, 2*s.Sum)
+					return
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(1 + (g+i)%2)) // 1s and 2s, exact in float64
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	s := h.Stats()
+	if s.Count != goroutines*perG {
+		t.Errorf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	// Each goroutine observes perG/2 ones and perG/2 twos.
+	wantSum := float64(goroutines) * perG / 2 * 3
+	if s.Sum != wantSum {
+		t.Errorf("sum = %g, want exactly %g (a lost or doubled CAS moves it by >= 1)", s.Sum, wantSum)
+	}
+}
+
 func TestRegistryHistogram(t *testing.T) {
 	reg := NewRegistry()
 	reg.Histogram("serve.solve_ms").Observe(12)

@@ -20,6 +20,7 @@ package serve
 import (
 	"container/list"
 
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
 )
 
@@ -36,6 +37,12 @@ type Cache struct {
 
 	hits, misses, evictions *obs.Counter
 	size                    *obs.Gauge
+
+	// faults arms the cache.put and cache.evict injection points. Both
+	// are hit before any structural mutation, so an injected panic leaves
+	// the LRU intact — the corruption-free guarantee the chaos suite
+	// verifies by byte-identical replay after the fault clears.
+	faults *faults.Injector
 }
 
 type cacheEntry struct {
@@ -75,8 +82,14 @@ func (c *Cache) get(key string) ([]byte, bool) {
 }
 
 // put stores body under key, evicting the least recently used entry when
-// over capacity. Callers hold the Engine lock.
+// over capacity. Callers hold the Engine lock. An injected cache.put
+// fault skips the insert (the body is still served; the next request
+// re-solves); an injected cache.evict fault leaves the over-full entry
+// for the next put to evict.
 func (c *Cache) put(key string, body []byte) {
+	if err := c.faults.Fire("cache.put"); err != nil {
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).body = body
@@ -85,6 +98,9 @@ func (c *Cache) put(key string, body []byte) {
 	el := c.ll.PushFront(&cacheEntry{key: key, body: body})
 	c.entries[key] = el
 	for c.ll.Len() > c.max {
+		if err := c.faults.Fire("cache.evict"); err != nil {
+			break
+		}
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)

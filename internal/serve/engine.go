@@ -12,6 +12,7 @@ import (
 
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/dist"
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/multigrid"
 	"cdrstoch/internal/obs"
 	"cdrstoch/internal/serve/speckey"
@@ -49,6 +50,11 @@ type EngineConfig struct {
 	// residuals) for every cache-miss solve. Cache hits emit nothing —
 	// that silence is the observable proof a response came from the cache.
 	Tracer obs.Tracer
+	// Faults arms the engine's injection points (engine.solve, cache.put,
+	// cache.evict, singleflight.leader) and is threaded into the solver
+	// (multigrid.cycle). Nil (the default) disables injection at zero
+	// cost.
+	Faults *faults.Injector
 }
 
 // Engine maps specs to immutable response bodies: content-addressed cache
@@ -93,6 +99,8 @@ func NewEngine(cfg EngineConfig) *Engine {
 		cache: NewCache(cfg.CacheEntries, cfg.Registry),
 		sem:   make(chan struct{}, cfg.MaxConcurrent),
 	}
+	e.cache.faults = cfg.Faults
+	e.sf.faults = cfg.Faults
 	e.teams.New = func() any { return spmat.NewPool(cfg.SolveWorkers) }
 	return e
 }
@@ -166,8 +174,11 @@ func (e *Engine) release() { <-e.sem }
 // cached wraps the cache + singleflight + solve pipeline shared by all
 // endpoints. compute must be a pure function of the key. The flight runs
 // under the initiating request's context; a waiter whose own context is
-// still live retries when the leader's context dies, becoming the new
-// leader, so one impatient client cannot poison the result for others.
+// still live retries when the leader's context dies — whether the leader
+// was canceled or ran out its own (possibly tighter) deadline — becoming
+// the new leader, so one impatient or short-deadlined client cannot
+// poison the result for others. A follower never surfaces the dead
+// leader's ctx.Err() as its own result.
 func (e *Engine) cached(ctx context.Context, key string, compute func(context.Context) ([]byte, error)) ([]byte, bool, error) {
 	if body, ok := e.cacheGet(key); ok {
 		return body, true, nil
@@ -188,8 +199,9 @@ func (e *Engine) cached(ctx context.Context, key string, compute func(context.Co
 		})
 		if shared {
 			e.reg.Counter("serve.singleflight_shared").Inc()
-			if err != nil && errors.Is(err, context.Canceled) && ctx.Err() == nil {
-				continue // leader canceled, we did not: retry as leader
+			leaderCtxDied := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+			if err != nil && leaderCtxDied && ctx.Err() == nil {
+				continue // the leader's context died, ours did not: retry as leader
 			}
 		}
 		return body, shared && err == nil, err
@@ -222,6 +234,9 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.M
 		return nil, nil, err
 	}
 	defer e.release()
+	if err := e.cfg.Faults.FireCtx(ctx, "engine.solve"); err != nil {
+		return nil, nil, fmt.Errorf("serve: solve %s: %w", key[:12], err)
+	}
 	defer e.reg.Timer("serve.solve").Time()()
 	e.reg.Counter("serve.solves").Inc()
 	tr := obs.StampFromContext(ctx, e.cfg.Tracer)
@@ -240,6 +255,7 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.M
 	mg.Ctx = ctx
 	mg.Trace = e.cfg.Tracer
 	mg.Pool = team
+	mg.Faults = e.cfg.Faults
 	solveStart := time.Now()
 	endSolve := obs.StartSpan(tr, "serve.solve")
 	a, err := m.Solve(core.SolveOptions{Multigrid: mg})
@@ -410,21 +426,28 @@ func (e *Engine) Sweep(ctx context.Context, base core.Spec, param string, values
 		go func(i int, v float64) {
 			defer wg.Done()
 			points[i] = SweepPoint{Value: v}
-			spec, err := applySweepParam(base, param, v)
-			if err == nil {
-				err = spec.Validate()
-			}
+			// The shield keeps a panicking point (injected or real) a
+			// failed point, not a dead process: a goroutine panic would
+			// otherwise bypass every recovery layer above us.
+			err := shield(func() error {
+				spec, err := applySweepParam(base, param, v)
+				if err == nil {
+					err = spec.Validate()
+				}
+				if err != nil {
+					return err
+				}
+				body, cached, err := e.Analyze(ctx, spec)
+				if err != nil {
+					return err
+				}
+				points[i].Cached = cached
+				points[i].Result = body
+				return nil
+			})
 			if err != nil {
 				points[i].Error = err.Error()
-				return
 			}
-			body, cached, err := e.Analyze(ctx, spec)
-			if err != nil {
-				points[i].Error = err.Error()
-				return
-			}
-			points[i].Cached = cached
-			points[i].Result = body
 		}(i, v)
 	}
 	wg.Wait()

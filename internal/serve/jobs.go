@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"time"
 
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
 )
 
@@ -16,6 +19,12 @@ var ErrQueueFull = errors.New("serve: job queue full")
 
 // ErrShuttingDown reports a submission after Close began draining.
 var ErrShuttingDown = errors.New("serve: shutting down")
+
+// ErrShedOnShutdown reports a job that was still queued when the hard
+// shutdown (CancelAll) hit: it never started and will not run. Distinct
+// from a cancellation mid-run, so operators can tell dropped work from
+// interrupted work.
+var ErrShedOnShutdown = errors.New("serve: job shed on shutdown")
 
 // Job statuses, in lifecycle order.
 const (
@@ -28,12 +37,15 @@ const (
 
 // JobView is the poll response of /v1/jobs/{id}. Result is present only
 // once Status is "done". TraceID names the trace the job's solver events
-// are stamped with; GET /v1/jobs/{id}/trace serves them.
+// are stamped with; GET /v1/jobs/{id}/trace serves them. Retries counts
+// the transient-failure re-runs the job needed (absent when it succeeded
+// or failed on the first attempt).
 type JobView struct {
 	ID      string          `json:"id"`
 	Status  string          `json:"status"`
 	TraceID string          `json:"trace_id,omitempty"`
 	Cached  bool            `json:"cached,omitempty"`
+	Retries int             `json:"retries,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
 }
@@ -44,17 +56,19 @@ type job struct {
 	trace string
 	run   func(context.Context) ([]byte, bool, error)
 
-	mu     sync.Mutex
-	status string
-	cached bool
-	err    string
-	body   []byte
+	mu      sync.Mutex
+	status  string
+	cached  bool
+	retries int
+	err     string
+	body    []byte
 }
 
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobView{ID: j.id, Status: j.status, TraceID: j.trace, Cached: j.cached, Error: j.err, Result: j.body}
+	return JobView{ID: j.id, Status: j.status, TraceID: j.trace, Cached: j.cached,
+		Retries: j.retries, Error: j.err, Result: j.body}
 }
 
 func (j *job) set(status string, body []byte, cached bool, err error) {
@@ -68,19 +82,50 @@ func (j *job) set(status string, body []byte, cached bool, err error) {
 	}
 }
 
+func (j *job) addRetry() {
+	j.mu.Lock()
+	j.retries++
+	j.mu.Unlock()
+}
+
 // maxFinishedJobs bounds how many completed job records are retained for
 // polling; beyond it the oldest finished records are dropped and polls
 // for them return 404.
 const maxFinishedJobs = 1024
 
+// JobsConfig parameterizes a Jobs queue.
+type JobsConfig struct {
+	// Workers is the worker pool size. Default 1.
+	Workers int
+	// Depth bounds the queue; a full queue refuses submissions. Default 1.
+	Depth int
+	// Registry receives the serve.jobs_* metrics. May be nil.
+	Registry *obs.Registry
+	// Faults arms the jobs.dequeue injection point. May be nil.
+	Faults *faults.Injector
+	// RetryMax is the number of re-runs a transiently failing job gets
+	// beyond its first attempt (transient: core.ErrUnconverged or a
+	// non-permanent injected fault). Default 2; negative disables retry.
+	RetryMax int
+	// RetryBase is the first backoff; attempt k waits a jittered
+	// RetryBase·2^k. Default 25ms.
+	RetryBase time.Duration
+}
+
 // Jobs is a bounded asynchronous work queue: Submit enqueues with
 // backpressure, a fixed worker pool drains, finished results stay
-// pollable until evicted. Close drains gracefully — queued jobs still
-// run; new submissions are refused.
+// pollable until evicted. Transient failures are retried with jittered
+// exponential backoff; panics fail the job, never the process. Close
+// drains gracefully — queued jobs still run; new submissions are
+// refused.
 type Jobs struct {
-	queue chan *job
-	wg    sync.WaitGroup
-	reg   *obs.Registry
+	queue  chan *job
+	wg     sync.WaitGroup
+	reg    *obs.Registry
+	faults *faults.Injector
+
+	retryMax  int
+	retryBase time.Duration
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -92,26 +137,44 @@ type Jobs struct {
 	closed   bool
 }
 
-// NewJobs starts a pool of workers consuming a queue of the given depth.
-// Jobs run under a context canceled only by CancelAll — a disconnected
-// submitter must not kill a job another poller may still want.
+// NewJobs starts a pool of workers consuming a queue of the given depth,
+// with the default retry policy. Jobs run under a context canceled only
+// by CancelAll — a disconnected submitter must not kill a job another
+// poller may still want.
 func NewJobs(workers, depth int, reg *obs.Registry) *Jobs {
-	if workers < 1 {
-		workers = 1
+	return NewJobsConfig(JobsConfig{Workers: workers, Depth: depth, Registry: reg})
+}
+
+// NewJobsConfig starts a worker pool with the full configuration.
+func NewJobsConfig(cfg JobsConfig) *Jobs {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
 	}
-	if depth < 1 {
-		depth = 1
+	if cfg.Depth < 1 {
+		cfg.Depth = 1
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 2
+	}
+	if cfg.RetryMax < 0 {
+		cfg.RetryMax = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 25 * time.Millisecond
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Jobs{
-		queue:   make(chan *job, depth),
-		reg:     reg,
-		baseCtx: ctx,
-		cancel:  cancel,
-		jobs:    make(map[string]*job),
+		queue:     make(chan *job, cfg.Depth),
+		reg:       cfg.Registry,
+		faults:    cfg.Faults,
+		retryMax:  cfg.RetryMax,
+		retryBase: cfg.RetryBase,
+		baseCtx:   ctx,
+		cancel:    cancel,
+		jobs:      make(map[string]*job),
 	}
-	j.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	j.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go j.worker()
 	}
 	return j
@@ -121,28 +184,93 @@ func (j *Jobs) worker() {
 	defer j.wg.Done()
 	for t := range j.queue {
 		j.reg.Gauge("serve.jobs_queued").Set(float64(len(j.queue)))
-		t.set(StatusRunning, nil, false, nil)
-		// Jobs run under the pool's own context (a disconnected submitter
-		// must not kill them) but keep the submitting request's trace
-		// identity, so solver events stay attributable to the request.
-		ctx := j.baseCtx
-		if t.trace != "" {
-			ctx = obs.ContextWithTrace(ctx, t.trace, t.id)
-		}
-		body, cached, err := t.run(ctx)
-		switch {
-		case err == nil:
-			t.set(StatusDone, body, cached, nil)
-			j.reg.Counter("serve.jobs_done").Inc()
-		case errors.Is(err, context.Canceled):
-			t.set(StatusCanceled, nil, false, err)
-			j.reg.Counter("serve.jobs_canceled").Inc()
-		default:
-			t.set(StatusFailed, nil, false, err)
-			j.reg.Counter("serve.jobs_failed").Inc()
-		}
+		j.runJob(t)
 		j.retire(t.id)
 	}
+}
+
+// runJob executes one dequeued job to a terminal status: done, failed
+// (with retries for transient errors), canceled, or shed. Panics inside
+// the job body become a failed job via the shield — a panicking job must
+// fail that job, not the process.
+func (j *Jobs) runJob(t *job) {
+	// A job dequeued after the hard-shutdown cancel never starts: it is
+	// reported failed with the distinct shed error rather than silently
+	// dropped or misreported as a mid-run cancellation.
+	if j.baseCtx.Err() != nil {
+		t.set(StatusFailed, nil, false, ErrShedOnShutdown)
+		j.reg.Counter("serve.jobs_shed").Inc()
+		return
+	}
+	t.set(StatusRunning, nil, false, nil)
+	// Jobs run under the pool's own context (a disconnected submitter
+	// must not kill them) but keep the submitting request's trace
+	// identity, so solver events stay attributable to the request.
+	ctx := j.baseCtx
+	if t.trace != "" {
+		ctx = obs.ContextWithTrace(ctx, t.trace, t.id)
+	}
+	var body []byte
+	var cached bool
+	var err error
+	for attempt := 0; ; attempt++ {
+		first := attempt == 0
+		err = shield(func() error {
+			if first {
+				if ferr := j.faults.FireCtx(ctx, "jobs.dequeue"); ferr != nil {
+					return fmt.Errorf("serve: dequeue: %w", ferr)
+				}
+			}
+			var rerr error
+			body, cached, rerr = t.run(ctx)
+			return rerr
+		})
+		if err == nil || attempt >= j.retryMax || !transientErr(err) ||
+			ctx.Err() != nil || j.draining() {
+			break
+		}
+		t.addRetry()
+		j.reg.Counter("serve.jobs_retried").Inc()
+		if !j.backoff(ctx, attempt) {
+			break // canceled while waiting: surface the last attempt's error
+		}
+	}
+	switch {
+	case err == nil:
+		t.set(StatusDone, body, cached, nil)
+		j.reg.Counter("serve.jobs_done").Inc()
+	case errors.Is(err, context.Canceled):
+		t.set(StatusCanceled, nil, false, err)
+		j.reg.Counter("serve.jobs_canceled").Inc()
+	default:
+		t.set(StatusFailed, nil, false, err)
+		j.reg.Counter("serve.jobs_failed").Inc()
+	}
+}
+
+// backoff sleeps the jittered exponential delay before retry attempt+1:
+// uniformly within [base·2^attempt/2, base·2^attempt), so synchronized
+// transient failures do not retry in lockstep. It returns false when the
+// pool context died while waiting.
+func (j *Jobs) backoff(ctx context.Context, attempt int) bool {
+	d := j.retryBase << uint(attempt)
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// draining reports whether Close has begun; retries stop so the drain
+// stays bounded.
+func (j *Jobs) draining() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.closed
 }
 
 // retire records a finished job for eviction accounting.
@@ -162,6 +290,11 @@ func (j *Jobs) retire(id string) {
 // to the request. A full queue returns ErrQueueFull immediately (never
 // blocks): that backpressure is the contract that keeps the daemon
 // responsive.
+//
+// The registration and the enqueue happen under one lock so a Submit
+// racing Close can never send on the closed queue channel: either it
+// observes closed and refuses, or the send completes before Close closes
+// the channel (Close serializes behind the same lock).
 func (j *Jobs) Submit(trace string, run func(context.Context) ([]byte, bool, error)) (string, error) {
 	j.mu.Lock()
 	if j.closed {
@@ -170,17 +303,14 @@ func (j *Jobs) Submit(trace string, run func(context.Context) ([]byte, bool, err
 	}
 	j.seq++
 	t := &job{id: fmt.Sprintf("job-%06d", j.seq), trace: trace, run: run, status: StatusQueued}
-	j.jobs[t.id] = t
-	j.mu.Unlock()
-
 	select {
 	case j.queue <- t:
+		j.jobs[t.id] = t
+		j.mu.Unlock()
 		j.reg.Counter("serve.jobs_submitted").Inc()
 		j.reg.Gauge("serve.jobs_queued").Set(float64(len(j.queue)))
 		return t.id, nil
 	default:
-		j.mu.Lock()
-		delete(j.jobs, t.id)
 		j.mu.Unlock()
 		j.reg.Counter("serve.jobs_rejected").Inc()
 		return "", ErrQueueFull
@@ -212,6 +342,8 @@ func (j *Jobs) Close() {
 	j.wg.Wait()
 }
 
-// CancelAll aborts running jobs by canceling their shared context. Meant
-// for hard shutdown after a drain deadline passes.
+// CancelAll aborts running jobs by canceling their shared context; jobs
+// still queued at that point are shed (StatusFailed, ErrShedOnShutdown)
+// instead of started. Meant for hard shutdown after a drain deadline
+// passes.
 func (j *Jobs) CancelAll() { j.cancel() }

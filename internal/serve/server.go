@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
 	"cdrstoch/internal/buildinfo"
 	"cdrstoch/internal/core"
+	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
 )
 
@@ -45,6 +48,16 @@ type ServerConfig struct {
 	// cancellation or non-convergence. Nil disables log dumps (the dump
 	// still rides the error response).
 	ErrorLog *log.Logger
+	// Faults arms the fault-injection points across the service (engine,
+	// cache, singleflight, jobs, solver cycles). Nil disables injection
+	// at zero cost. cdrserved arms it from CDR_FAULTS.
+	Faults *faults.Injector
+	// JobRetries bounds the transient-failure re-runs an async job gets
+	// beyond its first attempt. Default 2; negative disables retry.
+	JobRetries int
+	// JobRetryBase is the first retry backoff; attempt k waits a
+	// jittered JobRetryBase·2^k. Default 25ms.
+	JobRetryBase time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -65,6 +78,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	}
 	if c.Engine.Tracer == nil {
 		c.Engine.Tracer = c.Tracer
+	}
+	if c.Engine.Faults == nil {
+		c.Engine.Faults = c.Faults
 	}
 	return c
 }
@@ -93,7 +109,14 @@ func NewServer(cfg ServerConfig) *Server {
 		engine: NewEngine(cfg.Engine),
 		reg:    cfg.Registry,
 		flight: flight,
-		jobs:   NewJobs(cfg.Workers, cfg.QueueDepth, cfg.Registry),
+		jobs: NewJobsConfig(JobsConfig{
+			Workers:   cfg.Workers,
+			Depth:     cfg.QueueDepth,
+			Registry:  cfg.Registry,
+			Faults:    cfg.Faults,
+			RetryMax:  cfg.JobRetries,
+			RetryBase: cfg.JobRetryBase,
+		}),
 	}
 }
 
@@ -119,7 +142,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
-	return s.traced(mux)
+	return s.traced(s.recovered(mux))
+}
+
+// recovered is the panic-recovery middleware: a panicking handler (or a
+// solver panic that escaped every inner shield) answers 500 with the
+// trace ID and flight tail instead of killing the connection — and never
+// the process. It sits inside traced, so the X-Trace-Id response header
+// is already set when the recovery body is written. http.ErrAbortHandler
+// is re-raised: it is net/http's own control flow, not a failure.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec)
+				}
+				s.reg.Counter("serve.panics_recovered").Inc()
+				s.writeError(w, r, &PanicError{Value: rec, Stack: debug.Stack()})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // traced is the tracing middleware: every request gets a trace ID
@@ -173,8 +217,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 // Solver failures (every status outside the client-fault range) attach
 // the request's flight-recorder tail and dump it to the error log.
 func (s *Server) writeError(w http.ResponseWriter, r *http.Request, err error) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		s.reg.Counter("serve.panic_errors").Inc()
+	}
 	code := http.StatusInternalServerError
 	switch {
+	case pe != nil:
+		// Recovered panics are always 500s, even when the panic value is
+		// an injected cancellation-flavored error.
 	case errors.Is(err, ErrBadRequest):
 		code = http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
@@ -235,6 +286,34 @@ type solveRequest struct {
 	Async bool `json:"async"`
 }
 
+// syncTimeout resolves the synchronous deadline of a request: the
+// server's SyncTimeout, tightened — never loosened — by the client's
+// Request-Timeout header. The header value is either a plain number of
+// seconds ("2.5") or a Go duration ("750ms"); anything else, or a
+// non-positive value, is a 400.
+func (s *Server) syncTimeout(r *http.Request) (time.Duration, error) {
+	d := s.cfg.SyncTimeout
+	h := strings.TrimSpace(r.Header.Get("Request-Timeout"))
+	if h == "" {
+		return d, nil
+	}
+	var want time.Duration
+	if secs, err := strconv.ParseFloat(h, 64); err == nil {
+		want = time.Duration(secs * float64(time.Second))
+	} else if dur, err := time.ParseDuration(h); err == nil {
+		want = dur
+	} else {
+		return 0, badRequestf("unparseable Request-Timeout %q", h)
+	}
+	if want <= 0 {
+		return 0, badRequestf("non-positive Request-Timeout %q", h)
+	}
+	if want < d {
+		d = want
+	}
+	return d, nil
+}
+
 // decode parses a request envelope into v, enforcing the body cap.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -281,7 +360,12 @@ func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec)
 			})
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncTimeout)
+		timeout, err := s.syncTimeout(r)
+		if err != nil {
+			s.writeError(w, r, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
 		body, cached, err := solve(ctx, req.Spec)
 		if err != nil {
@@ -320,7 +404,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.SyncTimeout)
+	timeout, err := s.syncTimeout(r)
+	if err != nil {
+		s.writeError(w, r, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 	body, err := s.engine.Sweep(ctx, req.Spec, req.Param, req.Values)
 	if err != nil {

@@ -1,6 +1,10 @@
 package serve
 
-import "sync"
+import (
+	"sync"
+
+	"cdrstoch/internal/faults"
+)
 
 // call is one in-flight computation shared by every waiter on a key.
 type call struct {
@@ -19,10 +23,18 @@ type call struct {
 type group struct {
 	mu sync.Mutex
 	m  map[string]*call
+	// faults arms the singleflight.leader injection point, hit the moment
+	// a caller becomes the flight leader. Nil (the default) is disabled.
+	faults *faults.Injector
 }
 
 // do runs fn once per key among concurrent callers. It reports the body,
 // whether this caller shared another caller's flight, and fn's error.
+//
+// The flight always completes: fn runs behind the panic shield and the
+// key removal plus done-channel close are unconditional, so a panicking
+// leader surfaces a *PanicError to every waiter instead of stranding
+// them on a channel that never closes.
 func (g *group) do(key string, fn func() ([]byte, error)) (body []byte, shared bool, err error) {
 	g.mu.Lock()
 	if g.m == nil {
@@ -38,7 +50,14 @@ func (g *group) do(key string, fn func() ([]byte, error)) (body []byte, shared b
 	g.m[key] = c
 	g.mu.Unlock()
 
-	c.body, c.err = fn()
+	c.err = shield(func() error {
+		if err := g.faults.Fire("singleflight.leader"); err != nil {
+			return err
+		}
+		var err error
+		c.body, err = fn()
+		return err
+	})
 
 	g.mu.Lock()
 	delete(g.m, key)
