@@ -51,6 +51,14 @@ go test -race ./...
 
 chaos_stage
 
+echo "== metrics lint (every name survives Prometheus sanitization, no collisions) =="
+go test -count=1 -run 'TestServerMetricsSurviveLint|TestLintMetrics' \
+    ./internal/serve ./internal/obs
+go test -count=1 -run 'TestRuntimeCollectorPoll' ./internal/obs/cost
+
+echo "== cost accounting allocs (zero-alloc kernel hot path, -race) =="
+go test -race -count=1 -run 'TestPoolKernelsAllocFree' ./internal/spmat
+
 echo "== bench smoke (1 iteration per benchmark) =="
 go test -run '^$' -bench 'BenchmarkStationary|BenchmarkFig3MatrixForm' \
     -benchtime 1x -benchmem .

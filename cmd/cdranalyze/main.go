@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 	"cdrstoch/internal/dist"
 	"cdrstoch/internal/experiments"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
 )
 
 func main() {
@@ -34,6 +37,7 @@ func main() {
 	describe := fs.Bool("describe", false, "print model dimensions before solving")
 	bathtub := fs.Int("bathtub", 0, "emit an N-point bathtub curve (offset_ui,ber) as CSV")
 	eyeAt := fs.Float64("eye-at", 0, "report the eye opening at this BER target")
+	costRep := fs.Bool("cost", false, "print the solve's cost report (SolveReport JSON) to stderr")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -83,6 +87,11 @@ func main() {
 	opt := core.SolveOptions{}
 	opt.Multigrid.Trace = obsrv.Tracer
 	opt.Multigrid.Workers = *workers
+	var meter *cost.Meter
+	if *costRep {
+		meter = cost.NewMeter()
+		opt.Multigrid.Ctx = cost.ContextWith(context.Background(), meter)
+	}
 	solveDone := obsrv.Registry.Timer("solve").Time()
 	endSolve := obs.StartSpan(obsrv.Tracer, "cdranalyze.solve")
 	a, err := model.Solve(opt)
@@ -90,6 +99,19 @@ func main() {
 	solveDone()
 	if err != nil {
 		fatal(err)
+	}
+	if *costRep {
+		rep := meter.Finish()
+		rep.Endpoint = "cli"
+		rep.States = model.NumStates()
+		rep.NNZ = model.P.NNZ()
+		rep.MatrixBytes = model.P.MemoryBytes()
+		// Stderr keeps -csv and -bathtub stdout pipelines clean.
+		enc := json.NewEncoder(os.Stderr)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
 	}
 	obsrv.Registry.Counter("multigrid.cycles").Add(int64(a.Multigrid.Cycles))
 	panel.Analysis = a

@@ -6,12 +6,22 @@
 //
 //	go run ./cmd/cdrreport            # full report (~1 minute)
 //	go run ./cmd/cdrreport -quick     # skip the solver-scaling table
+//
+// With -top it instead tails a running cdrserved's /debug/solves ring
+// and prints a live per-solve cost table sorted by CPU time:
+//
+//	go run ./cmd/cdrreport -top http://127.0.0.1:8340
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"cdrstoch/internal/bitsim"
@@ -19,13 +29,22 @@ import (
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/experiments"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "skip the solver-scaling table (the slowest section)")
+	top := flag.String("top", "", "tail this cdrserved base URL's /debug/solves as a live cost table instead of running the report")
+	topInterval := flag.Duration("top-interval", 2*time.Second, "refresh interval in -top mode")
+	topN := flag.Int("top-n", 0, "number of refreshes in -top mode (0 = until interrupted)")
+	topLimit := flag.Int("top-limit", 20, "reports per refresh in -top mode")
 	of := cliutil.BindObs(flag.CommandLine)
 	workers := cliutil.BindWorkers(flag.CommandLine)
 	flag.Parse()
+	if *top != "" {
+		check(runTop(os.Stdout, *top, *topInterval, *topN, *topLimit))
+		return
+	}
 	obsrv, err := of.Setup()
 	if err != nil {
 		check(err)
@@ -128,6 +147,58 @@ func main() {
 
 	fmt.Printf("\nReport completed in %v.\n", time.Since(start).Round(time.Millisecond))
 	check(obsrv.Close(os.Stdout))
+}
+
+// solvesPage mirrors the /debug/solves JSON body.
+type solvesPage struct {
+	Count   int                `json:"count"`
+	Dropped uint64             `json:"dropped"`
+	Reports []cost.SolveReport `json:"reports"`
+}
+
+// topOnce fetches one page of the solve-cost ring and renders the table.
+func topOnce(w io.Writer, client *http.Client, base string, limit int) error {
+	url := strings.TrimRight(base, "/") + "/debug/solves?limit=" + strconv.Itoa(limit)
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var page solvesPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	if _, err := fmt.Fprintf(w, "%s  %d solves retained, %d evicted\n",
+		time.Now().Format(time.TimeOnly), page.Count, page.Dropped); err != nil {
+		return err
+	}
+	return cost.WriteTable(w, page.Reports)
+}
+
+// runTop polls the daemon's /debug/solves every interval and prints the
+// live cost table, iters times (0 = until interrupted).
+func runTop(w io.Writer, base string, interval time.Duration, iters, limit int) error {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	if limit <= 0 {
+		limit = 20
+	}
+	client := &http.Client{Timeout: interval + 5*time.Second}
+	for i := 0; ; i++ {
+		if err := topOnce(w, client, base, limit); err != nil {
+			return err
+		}
+		if iters > 0 && i+1 >= iters {
+			return nil
+		}
+		fmt.Fprintln(w)
+		time.Sleep(interval)
+	}
 }
 
 func section(title string) {

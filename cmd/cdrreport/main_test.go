@@ -1,0 +1,63 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunTopRendersCostTable serves a canned /debug/solves page and
+// checks the -top renderer: header line, CPU-descending rows, and the
+// requested limit on the query.
+func TestRunTopRendersCostTable(t *testing.T) {
+	var gotLimit string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/solves" {
+			http.NotFound(w, r)
+			return
+		}
+		gotLimit = r.URL.Query().Get("limit")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"count":2,"dropped":3,"reports":[
+			{"trace_id":"cheap","endpoint":"analyze","start":"2026-08-09T00:00:00Z","wall_ns":2000000,"cpu_ns":1000000,"pool":{}},
+			{"trace_id":"costly","endpoint":"slip","start":"2026-08-09T00:00:00Z","wall_ns":9000000,"cpu_ns":8000000,"cached":true,"pool":{}}
+		]}`))
+	}))
+	defer ts.Close()
+
+	var sb strings.Builder
+	if err := runTop(&sb, ts.URL, time.Second, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if gotLimit != "7" {
+		t.Errorf("limit query = %q, want 7", gotLimit)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 solves retained, 3 evicted") {
+		t.Errorf("missing ring summary:\n%s", out)
+	}
+	costlyAt := strings.Index(out, "costly")
+	cheapAt := strings.Index(out, "cheap")
+	if costlyAt < 0 || cheapAt < 0 || costlyAt > cheapAt {
+		t.Errorf("rows not CPU-descending:\n%s", out)
+	}
+	if !strings.Contains(out, "hit") || !strings.Contains(out, "miss") {
+		t.Errorf("cache dispositions missing:\n%s", out)
+	}
+}
+
+// TestRunTopSurfacesHTTPErrors: a non-200 answer becomes an error, not
+// an empty table.
+func TestRunTopSurfacesHTTPErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no ring here", http.StatusNotFound)
+	}))
+	defer ts.Close()
+	var sb strings.Builder
+	err := runTop(&sb, ts.URL, time.Second, 1, 5)
+	if err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("err = %v, want 404 surfaced", err)
+	}
+}

@@ -16,6 +16,9 @@
 //	GET  /metrics            registry snapshot (JSON, or Prometheus text
 //	                         exposition under Accept: text/plain)
 //	GET  /debug/flight       flight recorder dump (recent solver events)
+//	GET  /debug/solves       per-solve cost reports (SolveReport ring);
+//	                         ?trace= ?spec= ?endpoint= ?min_ms= ?limit=,
+//	                         human table under Accept: text/plain
 //
 // On SIGINT/SIGTERM the daemon stops accepting, drains queued jobs within
 // the -drain budget, then exits 0.
@@ -35,6 +38,7 @@ import (
 	"cdrstoch/internal/buildinfo"
 	"cdrstoch/internal/cliutil"
 	"cdrstoch/internal/faults"
+	"cdrstoch/internal/obs/cost"
 	"cdrstoch/internal/serve"
 )
 
@@ -49,6 +53,9 @@ func main() {
 	timeout := fs.Duration("timeout", 120*time.Second, "synchronous request deadline")
 	drainBudget := fs.Duration("drain", 30*time.Second, "graceful shutdown budget before canceling running jobs")
 	flightN := fs.Int("flight", 0, "flight recorder ring size in events (0 = default)")
+	solvesN := fs.Int("solves", 0, "cost report ring size behind /debug/solves (0 = default)")
+	costLog := fs.String("cost-log", "", "append per-solve cost reports as JSON lines to this file")
+	runtimePoll := fs.Duration("runtime-poll", 10*time.Second, "runtime/metrics polling interval for runtime.* gauges (0 disables)")
 	version := fs.Bool("version", false, "print build attribution and exit")
 	app.Parse(os.Args[1:])
 	if *version {
@@ -67,20 +74,39 @@ func main() {
 		fmt.Printf("cdrserved: %s\n", inj)
 	}
 
+	// Optional JSONL sink for per-solve cost reports; its sticky drop
+	// count surfaces as the cost.log_dropped gauge.
+	var costSink *cost.JSONL
+	if *costLog != "" {
+		f, err := os.OpenFile(*costLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			app.Fatal(err)
+		}
+		defer f.Close()
+		costSink = cost.NewJSONL(f)
+	}
+
+	// GC/scheduler health gauges (runtime.*) poll on their own cadence;
+	// stopped during drain so the exit is clean.
+	stopRuntime := cost.NewRuntimeCollector(obsrv.Registry).Start(*runtimePoll)
+	defer stopRuntime()
+
 	srv := serve.NewServer(serve.ServerConfig{
 		Engine: serve.EngineConfig{
 			CacheEntries:  *cacheN,
 			MaxConcurrent: *conc,
 			SolveWorkers:  *app.Workers,
 		},
-		Workers:     *jobWorkers,
-		QueueDepth:  *queue,
-		SyncTimeout: *timeout,
-		Registry:    obsrv.Registry,
-		Tracer:      obsrv.Tracer,
-		FlightSize:  *flightN,
-		Faults:      inj,
-		ErrorLog:    log.New(os.Stderr, "cdrserved: ", log.LstdFlags|log.LUTC),
+		Workers:      *jobWorkers,
+		QueueDepth:   *queue,
+		SyncTimeout:  *timeout,
+		Registry:     obsrv.Registry,
+		Tracer:       obsrv.Tracer,
+		FlightSize:   *flightN,
+		CostRingSize: *solvesN,
+		CostLog:      costSink,
+		Faults:       inj,
+		ErrorLog:     log.New(os.Stderr, "cdrserved: ", log.LstdFlags|log.LUTC),
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -9,7 +9,18 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
+
+// start approximates process start: package init runs before main, so
+// the error versus true exec time is negligible for uptime reporting.
+var start = time.Now()
+
+// StartTime returns when the process started (package-init time).
+func StartTime() time.Time { return start }
+
+// Uptime returns how long the process has been running.
+func Uptime() time.Duration { return time.Since(start) }
 
 // Info is the attribution record of a binary.
 type Info struct {

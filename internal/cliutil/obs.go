@@ -58,6 +58,11 @@ func (f *ObsFlags) Setup() (*Obs, error) {
 		o.file = file
 		o.Tracer = obs.NewJSONL(file)
 	}
+	if j, ok := o.Tracer.(*obs.JSONL); ok {
+		// Sticky-sink losses surface in the exit snapshot (and /metrics
+		// when the registry is served), not only in Close's error.
+		o.Registry.GaugeFunc("obs.jsonl_dropped", func() float64 { return float64(j.Dropped()) })
+	}
 	if *f.Pprof != "" {
 		addr := *f.Pprof
 		go func() {

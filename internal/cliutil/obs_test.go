@@ -85,3 +85,32 @@ func TestObsTraceSinkOpenFailure(t *testing.T) {
 		t.Error("unwritable trace path accepted")
 	}
 }
+
+func TestObsTraceSinkExportsDropGauge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	of := parseObs(t, "-trace", path)
+	o, err := of.Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := o.Registry.Snapshot().Gauges["obs.jsonl_dropped"]
+	if !ok {
+		t.Fatal("obs.jsonl_dropped gauge not registered with a JSONL tracer")
+	}
+	if got != 0 {
+		t.Errorf("healthy sink dropped = %g", got)
+	}
+	var buf bytes.Buffer
+	if err := o.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// No tracer, no gauge.
+	o2, err := parseObs(t).Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o2.Registry.Snapshot().Gauges["obs.jsonl_dropped"]; ok {
+		t.Error("drop gauge registered without a tracer")
+	}
+}

@@ -262,6 +262,21 @@ func (m *Model) SlipQuasiStationary() (passage.QuasiStationaryResult, error) {
 	return passage.QuasiStationary(m.P, m.SlipSet(), 1e-12, 500000)
 }
 
+// SlipQuasiStationaryOpt is SlipQuasiStationary with the full option set:
+// a cancellation (and cost-accounting) context, a shared worker team, and
+// tolerance overrides. Zero-valued options keep SlipQuasiStationary's
+// defaults. The service path uses this form so quasi-stationary sweeps
+// respect request deadlines and attribute their kernel work.
+func (m *Model) SlipQuasiStationaryOpt(opt passage.QSOptions) (passage.QuasiStationaryResult, error) {
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-12
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 500000
+	}
+	return passage.QuasiStationaryOpt(m.P, m.SlipSet(), opt)
+}
+
 // MeanTimeToSlip solves the expected first-passage time (in bit periods)
 // from the locked state to the slip set with the dense solver. Feasible
 // for models up to a few thousand states; larger models should use

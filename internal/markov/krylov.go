@@ -8,6 +8,7 @@ import (
 
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
 )
 
 // Krylov-subspace stationary solver. The paper lists Krylov methods among
@@ -131,6 +132,10 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 	matvecs := 0
 	endSpan := obs.StartSpan(opt.Trace, "gmres")
 	defer endSpan()
+	// Sweeps here are matrix–vector products; each restart additionally
+	// records its defect so the report shows per-restart convergence.
+	defer meterSolve(opt.Ctx, pool, &res)()
+	meter := cost.FromContext(opt.Ctx)
 	for matvecs < opt.MaxIter {
 		if opt.Ctx != nil {
 			if err := opt.Ctx.Err(); err != nil {
@@ -264,6 +269,8 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 		res.Iterations = matvecs
 		res.Residual = c.residualInto(pool, ws.r, xn)
 		obs.IterEvent(opt.Trace, "gmres", matvecs, res.Residual)
+		meter.AddRestarts(1)
+		meter.AddResidual(res.Residual)
 		if res.Residual <= opt.Tol {
 			res.Converged = true
 			// Clip the tiny negative entries GMRES can leave in deep

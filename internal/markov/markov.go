@@ -18,8 +18,34 @@ import (
 
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
 	"cdrstoch/internal/spmat"
 )
+
+// meterSolve hooks one iterative solve into the cost meter the context
+// carries (if any): it snapshots the pool's kernel counters up front and
+// returns a finish function that attributes sweep count, final residual,
+// and the kernel delta to the meter. Usage in every solver:
+//
+//	defer meterSolve(opt.Ctx, pool, &res)()
+//
+// The meter lookup happens once per solve; an unmetered context returns
+// a no-op closure, so the sweep loops never branch on accounting.
+func meterSolve(ctx context.Context, pool *spmat.Pool, res *Result) func() {
+	meter := cost.FromContext(ctx)
+	if meter == nil {
+		return func() {}
+	}
+	stats0 := pool.Stats()
+	meter.SampleGoroutines()
+	return func() {
+		meter.AddSweeps(int64(res.Iterations))
+		if res.Iterations > 0 {
+			meter.AddResidual(res.Residual)
+		}
+		meter.AddPoolDelta(stats0, pool.Stats())
+	}
+}
 
 // Chain is a finite discrete-time Markov chain.
 type Chain struct {
@@ -264,6 +290,7 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 	res := Result{}
 	endSpan := obs.StartSpan(opt.Trace, "power")
 	defer endSpan()
+	defer meterSolve(opt.Ctx, pool, &res)()
 	for it := 1; it <= opt.MaxIter; it++ {
 		if err := opt.ctxErr("power", res.Iterations, res.Residual); err != nil {
 			res.Pi = x
@@ -322,6 +349,7 @@ func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 	sweep := kern.rows
 	endSpan := obs.StartSpan(opt.Trace, "jacobi")
 	defer endSpan()
+	defer meterSolve(opt.Ctx, pool, &res)()
 	for it := 1; it <= opt.MaxIter; it++ {
 		if err := opt.ctxErr("jacobi", res.Iterations, res.Residual); err != nil {
 			res.Pi = x
@@ -397,6 +425,7 @@ func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
 	n := c.N()
 	endSpan := obs.StartSpan(opt.Trace, "gauss-seidel")
 	defer endSpan()
+	defer meterSolve(opt.Ctx, pool, &res)()
 	for it := 1; it <= opt.MaxIter; it++ {
 		if err := opt.ctxErr("gauss-seidel", res.Iterations, res.Residual); err != nil {
 			res.Pi = x

@@ -1,0 +1,100 @@
+package multigrid
+
+import (
+	"context"
+	"testing"
+
+	"cdrstoch/internal/obs/cost"
+)
+
+// TestSolveLevelStatsAndMeter pins the cost wiring: a metered solve
+// attributes per-level work, cycles, residuals, pool kernel counts, and
+// workspace bytes to the context's meter, and the Result carries the
+// same per-level stats.
+func TestSolveLevelStatsAndMeter(t *testing.T) {
+	n := 64
+	p := randomWalkChain(n, 0.3, 0.25)
+	parts, err := BuildPairHierarchy(n, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := cost.NewMeter()
+	s, err := New(p, parts, Config{Tol: 1e-13, Ctx: cost.ContextWith(context.Background(), meter)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.LevelStats) != len(parts)+1 {
+		t.Fatalf("LevelStats = %d levels, want %d", len(res.LevelStats), len(parts)+1)
+	}
+	if res.LevelStats[0].Size != n {
+		t.Errorf("finest level size = %d, want %d", res.LevelStats[0].Size, n)
+	}
+	for i, ls := range res.LevelStats {
+		if ls.Level != i {
+			t.Errorf("level %d labeled %d", i, ls.Level)
+		}
+		// A V-cycle visits every level at least once per cycle.
+		if ls.Visits < res.Cycles {
+			t.Errorf("level %d visits = %d < cycles %d", i, ls.Visits, res.Cycles)
+		}
+		if ls.SmoothNS <= 0 {
+			t.Errorf("level %d smooth time = %d", i, ls.SmoothNS)
+		}
+	}
+
+	rep := meter.Finish()
+	if rep.Cycles != int64(res.Cycles) {
+		t.Errorf("meter cycles = %d, want %d", rep.Cycles, res.Cycles)
+	}
+	if len(rep.Levels) != len(res.LevelStats) {
+		t.Errorf("meter levels = %d, want %d", len(rep.Levels), len(res.LevelStats))
+	}
+	if rep.FinalResidual <= 0 || rep.FinalResidual > 1e-13 {
+		t.Errorf("meter final residual = %g", rep.FinalResidual)
+	}
+	if len(rep.ResidualTail) == 0 {
+		t.Error("meter recorded no residual tail")
+	}
+	if rep.Pool.SpMVs == 0 && rep.Pool.RowSweeps == 0 {
+		t.Errorf("meter pool counters empty: %+v", rep.Pool)
+	}
+	if rep.WorkspaceBytes <= 0 {
+		t.Errorf("workspace bytes = %d", rep.WorkspaceBytes)
+	}
+}
+
+// TestSolveUnmeteredNoLevelRegression checks the disabled path: no meter
+// in the context still produces LevelStats on the result, and two solves
+// from one solver reset the per-level tallies rather than accumulating.
+func TestSolveUnmeteredNoLevelRegression(t *testing.T) {
+	n := 32
+	p := randomWalkChain(n, 0.4, 0.1)
+	parts, _ := BuildPairHierarchy(n, 1, 2)
+	s, err := New(p, parts, Config{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s.Solve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.LevelStats) == 0 || len(res2.LevelStats) == 0 {
+		t.Fatal("unmetered solve lost LevelStats")
+	}
+	// Same problem, same start: the second solve must not report the
+	// first solve's visits on top of its own.
+	if res1.Cycles == res2.Cycles &&
+		res1.LevelStats[0].Visits != res2.LevelStats[0].Visits {
+		t.Errorf("visit tally leaked across solves: %d vs %d",
+			res1.LevelStats[0].Visits, res2.LevelStats[0].Visits)
+	}
+}

@@ -18,10 +18,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/lump"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
 	"cdrstoch/internal/spmat"
 )
 
@@ -125,6 +127,23 @@ type Result struct {
 	LevelSizes []int
 	// ResidualHistory records the residual after each cycle.
 	ResidualHistory []float64
+	// LevelStats attributes the solve's work per level, finest first:
+	// visit counts across all cycles and wall time inside the level's
+	// smoother (or coarsest direct solve).
+	LevelStats []LevelStat
+}
+
+// LevelStat is the per-level work record of one solve.
+type LevelStat struct {
+	// Level is the hierarchy depth, 0 = finest.
+	Level int `json:"level"`
+	// Size is the level's state count.
+	Size int `json:"size"`
+	// Visits counts how often the cycle entered the level.
+	Visits int `json:"visits"`
+	// SmoothNS is wall time in the level's smoothing (finest/middle) or
+	// direct GTH solve (coarsest).
+	SmoothNS int64 `json:"smooth_ns"`
 }
 
 func (r Result) String() string {
@@ -154,6 +173,11 @@ type Solver struct {
 	gth      spmat.GTHWorkspace
 	pool     *spmat.Pool
 	curCycle int // cycle number stamped on level-visit trace events
+
+	// Per-level work attribution, preallocated in New and reset per
+	// Solve so the cycles stay allocation-free.
+	levelVisits []int
+	levelWorkNS []int64
 }
 
 // New validates the partition chain against the matrix and returns a
@@ -210,6 +234,8 @@ func New(p *spmat.CSR, parts []*lump.Partition, cfg Config) (*Solver, error) {
 		}
 		s.levels[k] = lv
 	}
+	s.levelVisits = make([]int, len(s.levels))
+	s.levelWorkNS = make([]int64, len(s.levels))
 	return s, nil
 }
 
@@ -286,10 +312,16 @@ func (s *Solver) coarsestSolve(lv *mgLevel, x []float64) []float64 {
 func (s *Solver) cycle(level int, x []float64) ([]float64, error) {
 	lv := s.levels[level]
 	obs.LevelEvent(s.cfg.Trace, "multigrid", s.curCycle, level, dimOf(lv.p))
+	s.levelVisits[level]++
 	if level == len(s.parts) {
-		return s.coarsestSolve(lv, x), nil
+		start := time.Now()
+		x = s.coarsestSolve(lv, x)
+		s.levelWorkNS[level] += time.Since(start).Nanoseconds()
+		return x, nil
 	}
+	start := time.Now()
 	s.smooth(lv.pt, x, s.cfg.PreSmooth)
+	s.levelWorkNS[level] += time.Since(start).Nanoseconds()
 
 	if err := lv.plan.Update(x); err != nil {
 		return nil, fmt.Errorf("multigrid: level %d: %w", level, err)
@@ -310,8 +342,36 @@ func (s *Solver) cycle(level int, x []float64) ([]float64, error) {
 		}
 	}
 	x = part.Prolong(x, xc, lv.plan.Weights())
+	start = time.Now()
 	s.smooth(lv.pt, x, s.cfg.PostSmooth)
+	s.levelWorkNS[level] += time.Since(start).Nanoseconds()
 	return x, nil
+}
+
+// levelStats snapshots the per-level attribution accumulated since the
+// last reset, finest first.
+func (s *Solver) levelStats() []LevelStat {
+	sizes := s.LevelSizes()
+	stats := make([]LevelStat, len(s.levels))
+	for k := range s.levels {
+		stats[k] = LevelStat{Level: k, Size: sizes[k], Visits: s.levelVisits[k], SmoothNS: s.levelWorkNS[k]}
+	}
+	return stats
+}
+
+// workspaceBytes estimates the hierarchy's heap footprint beyond the
+// caller's finest matrix: coarse matrices, transposes, and iterate
+// buffers.
+func (s *Solver) workspaceBytes() int64 {
+	var b int64
+	for k, lv := range s.levels {
+		if k > 0 {
+			b += lv.p.MemoryBytes()
+		}
+		b += lv.pt.MemoryBytes()
+		b += int64(len(lv.perm))*8 + int64(len(lv.xc))*8
+	}
+	return b
 }
 
 // Solve runs multilevel cycles from x0 (uniform when nil) until the
@@ -351,6 +411,29 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 	var err error
 	endSpan := obs.StartSpan(s.cfg.Trace, "multigrid")
 	defer endSpan()
+	// Cost accounting: one meter lookup per solve, never per cycle. The
+	// deferred attribution also covers the error returns, so a canceled
+	// or faulted solve still reports the work it did.
+	for k := range s.levels {
+		s.levelVisits[k], s.levelWorkNS[k] = 0, 0
+	}
+	meter := cost.FromContext(s.cfg.Ctx)
+	if meter != nil {
+		stats0 := s.pool.Stats()
+		meter.SampleGoroutines()
+		defer func() {
+			meter.AddCycles(int64(res.Cycles))
+			meter.AddPoolDelta(stats0, s.pool.Stats())
+			meter.AddWorkspaceBytes(s.workspaceBytes())
+			stats := s.levelStats()
+			lc := make([]cost.LevelCost, len(stats))
+			for i, st := range stats {
+				lc[i] = cost.LevelCost{Level: st.Level, Size: st.Size, Visits: st.Visits, SmoothNS: st.SmoothNS}
+			}
+			meter.SetLevels(lc)
+			meter.SampleGoroutines()
+		}()
+	}
 	for c := 1; c <= s.cfg.MaxCycles; c++ {
 		if s.cfg.Ctx != nil {
 			if cerr := s.cfg.Ctx.Err(); cerr != nil {
@@ -376,12 +459,14 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 		res.Residual = r
 		res.ResidualHistory = append(res.ResidualHistory, r)
 		obs.IterEvent(s.cfg.Trace, "multigrid", c, r)
+		meter.AddResidual(r)
 		if r <= s.cfg.Tol {
 			res.Converged = true
 			break
 		}
 	}
 	res.Pi = x
+	res.LevelStats = s.levelStats()
 	return res, nil
 }
 

@@ -1,0 +1,34 @@
+package cost
+
+import "cdrstoch/internal/obs"
+
+// Aggregate folds one report into the registry's per-endpoint cost
+// histograms. The metric family is cost.<endpoint>.<measure>:
+//
+//	cost.<endpoint>.cpu_seconds   histogram of process-CPU time per solve
+//	cost.<endpoint>.wall_seconds  histogram of wall time per solve
+//	cost.<endpoint>.spmv_total    histogram of sparse products per solve
+//	cost.<endpoint>.cycles        histogram of multigrid cycles per solve
+//	cost.reports                  counter of reports aggregated
+//
+// Cardinality is bounded by the endpoint set (a handful of code paths),
+// never by spec or trace. Cached replays are counted only in
+// cost.reports — their solver work was already attributed when the
+// original solve ran. Nil registry is a no-op.
+func Aggregate(reg *obs.Registry, rep SolveReport) {
+	if reg == nil {
+		return
+	}
+	reg.Counter("cost.reports").Inc()
+	if rep.Cached {
+		return
+	}
+	ep := rep.Endpoint
+	if ep == "" {
+		ep = "unknown"
+	}
+	reg.Histogram("cost." + ep + ".cpu_seconds").Observe(float64(rep.CPUNS) / 1e9)
+	reg.Histogram("cost." + ep + ".wall_seconds").Observe(float64(rep.WallNS) / 1e9)
+	reg.Histogram("cost." + ep + ".spmv_total").Observe(float64(rep.Pool.SpMVs))
+	reg.Histogram("cost." + ep + ".cycles").Observe(float64(rep.Cycles))
+}

@@ -1,0 +1,313 @@
+// Package cost is the per-solve cost accounting and convergence audit
+// layer: every solve — a synchronous HTTP handler, an async job, one
+// point of a sweep, or a CLI run — carries a Meter through its context
+// and ends with a structured SolveReport stating what the solve actually
+// cost (wall and CPU time, solver cycles and sweeps, sparse-kernel
+// operation counts and effective bandwidth, per-level multigrid work,
+// residual history, workspace bytes, peak goroutines).
+//
+// The package follows internal/obs's zero-cost-when-disabled contract: a
+// nil *Meter is a valid no-op, every method tolerates it, and solvers
+// fetch the meter from their context once per solve — never inside an
+// iteration loop — so unmetered runs pay one context lookup and nothing
+// else. Reports flow four ways in the service: X-Solve-Cost-* response
+// headers and the async JobView; the bounded Ring behind GET
+// /debug/solves; per-endpoint histograms in the obs Registry (and thus
+// /metrics, JSON and Prometheus); and an optional JSONL sink for offline
+// analysis.
+package cost
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdrstoch/internal/spmat"
+)
+
+// LevelCost is the per-level work attribution of one multigrid solve:
+// how many times the level was visited across all cycles and how long
+// its smoothing (or coarsest-level direct) work took.
+type LevelCost struct {
+	Level    int   `json:"level"`
+	Size     int   `json:"size"`
+	Visits   int   `json:"visits"`
+	SmoothNS int64 `json:"smooth_ns"`
+}
+
+// PoolCost is the sparse-kernel operation count of one solve, deltas of
+// spmat.PoolStats between solve start and end.
+type PoolCost struct {
+	// SpMVs counts sparse matrix–vector products (MulVec and VecMul).
+	SpMVs int64 `json:"spmvs"`
+	// RowSweeps counts RunRows dispatches (row-parallel solver sweeps).
+	RowSweeps int64 `json:"row_sweeps"`
+	// NNZ is the total stored entries processed across all kernels.
+	NNZ int64 `json:"nnz_processed"`
+	// KernelNS is the wall time spent inside the kernels.
+	KernelNS int64 `json:"kernel_ns"`
+}
+
+// SolveReport is the structured cost record of one solve. Zero-valued
+// fields are omitted from the JSON encoding where that cannot mislead
+// (a residual of 0 is "not recorded", not "converged to zero").
+type SolveReport struct {
+	// Trace is the request-scoped trace ID the solve ran under; the same
+	// ID correlates the report with flight-recorder events and response
+	// headers. Parent is the root span (request or job ID).
+	Trace  string `json:"trace_id,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	// Endpoint labels the code path ("analyze", "slip", "cli", ...);
+	// SpecKey is the content hash of the solved spec.
+	Endpoint string `json:"endpoint,omitempty"`
+	SpecKey  string `json:"spec_key,omitempty"`
+	// Start is when the meter was created; WallNS the wall-clock span to
+	// Finish; CPUNS the process CPU time (user+system) consumed over that
+	// span. CPU time is a process-wide delta: concurrent solves
+	// over-attribute each other's cycles, which is the honest upper bound
+	// a scheduler needs (documented, not hidden).
+	Start  time.Time `json:"start"`
+	WallNS int64     `json:"wall_ns"`
+	CPUNS  int64     `json:"cpu_ns"`
+	// PeakGoroutines is the highest runtime.NumGoroutine() observed at
+	// the meter's sample points (solve start, stage boundaries, finish).
+	PeakGoroutines int `json:"peak_goroutines,omitempty"`
+	// States/NNZ/MatrixBytes describe the finest-level matrix;
+	// WorkspaceBytes estimates the solver hierarchy's extra footprint
+	// (coarse matrices, transposes, iterate buffers).
+	States         int   `json:"states,omitempty"`
+	NNZ            int   `json:"nnz,omitempty"`
+	MatrixBytes    int64 `json:"matrix_bytes,omitempty"`
+	WorkspaceBytes int64 `json:"workspace_bytes,omitempty"`
+	// Cycles counts multigrid cycles; Sweeps counts fixed-point sweeps
+	// (power/Jacobi/Gauss–Seidel/quasi-stationary); Restarts counts GMRES
+	// restarts.
+	Cycles   int64 `json:"cycles,omitempty"`
+	Sweeps   int64 `json:"sweeps,omitempty"`
+	Restarts int64 `json:"restarts,omitempty"`
+	// FinalResidual is the last recorded convergence measure;
+	// ResidualTail the most recent per-cycle (or per-restart) residuals,
+	// oldest first, capped at ResidualTailMax.
+	FinalResidual float64   `json:"final_residual,omitempty"`
+	ResidualTail  []float64 `json:"residual_tail,omitempty"`
+	// Levels attributes multigrid work per level, finest first.
+	Levels []LevelCost `json:"levels,omitempty"`
+	// Pool is the sparse-kernel operation delta; SpMVGBps the effective
+	// kernel bandwidth estimate derived from it (16 bytes per stored
+	// entry: the value and its column index).
+	Pool     PoolCost `json:"pool"`
+	SpMVGBps float64  `json:"spmv_gbps,omitempty"`
+	// Cached is true on reports replayed for a cache hit (the solve that
+	// produced the body happened earlier); fresh solve reports are false.
+	Cached bool `json:"cached,omitempty"`
+	// Retries counts async-job re-runs (filled by the job layer).
+	Retries int `json:"retries,omitempty"`
+	// Err is the failure, when the solve did not finish cleanly.
+	Err string `json:"error,omitempty"`
+}
+
+// WallMS and CPUMS return the durations in fractional milliseconds, the
+// unit the response headers and cost tables use.
+func (r SolveReport) WallMS() float64 { return float64(r.WallNS) / 1e6 }
+
+// CPUMS returns the CPU time in fractional milliseconds.
+func (r SolveReport) CPUMS() float64 { return float64(r.CPUNS) / 1e6 }
+
+// ResidualTailMax bounds the residual history retained per report.
+const ResidualTailMax = 16
+
+// Meter accumulates the cost of one solve. Construct with NewMeter,
+// carry through the solve's context (ContextWith / FromContext), and
+// call Finish once to produce the SolveReport. All recording methods are
+// safe for concurrent use (sweep fan-outs share one request meter) and
+// tolerate a nil receiver, so solver code records unconditionally.
+type Meter struct {
+	start time.Time
+	cpu0  time.Duration
+
+	peakG    atomic.Int64
+	cycles   atomic.Int64
+	sweeps   atomic.Int64
+	restarts atomic.Int64
+	wsBytes  atomic.Int64
+
+	mu       sync.Mutex
+	finalRes float64
+	hasRes   bool
+	tail     [ResidualTailMax]float64
+	tailN    uint64 // total residuals ever recorded (ring write cursor)
+	levels   []LevelCost
+	pool     PoolCost
+}
+
+// NewMeter starts a meter: wall clock, process CPU baseline, and a first
+// goroutine sample.
+func NewMeter() *Meter {
+	m := &Meter{start: time.Now(), cpu0: ProcessCPU()}
+	m.SampleGoroutines()
+	return m
+}
+
+// SampleGoroutines records the current goroutine count into the running
+// peak. Call at stage boundaries; never inside iteration loops.
+func (m *Meter) SampleGoroutines() {
+	if m == nil {
+		return
+	}
+	g := int64(runtime.NumGoroutine())
+	for {
+		cur := m.peakG.Load()
+		if g <= cur || m.peakG.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// AddCycles adds multigrid cycles.
+func (m *Meter) AddCycles(n int64) {
+	if m == nil {
+		return
+	}
+	m.cycles.Add(n)
+}
+
+// AddSweeps adds fixed-point solver sweeps.
+func (m *Meter) AddSweeps(n int64) {
+	if m == nil {
+		return
+	}
+	m.sweeps.Add(n)
+}
+
+// AddRestarts adds GMRES restarts.
+func (m *Meter) AddRestarts(n int64) {
+	if m == nil {
+		return
+	}
+	m.restarts.Add(n)
+}
+
+// AddWorkspaceBytes adds to the solver-workspace footprint estimate.
+func (m *Meter) AddWorkspaceBytes(n int64) {
+	if m == nil {
+		return
+	}
+	m.wsBytes.Add(n)
+}
+
+// AddResidual records one convergence measurement: it becomes the
+// current final residual and joins the bounded residual tail.
+func (m *Meter) AddResidual(r float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.finalRes = r
+	m.hasRes = true
+	m.tail[m.tailN%ResidualTailMax] = r
+	m.tailN++
+	m.mu.Unlock()
+}
+
+// SetLevels records the per-level multigrid attribution (copied).
+func (m *Meter) SetLevels(levels []LevelCost) {
+	if m == nil {
+		return
+	}
+	cp := make([]LevelCost, len(levels))
+	copy(cp, levels)
+	m.mu.Lock()
+	m.levels = cp
+	m.mu.Unlock()
+}
+
+// AddPoolDelta accumulates the kernel-stat delta after − before of one
+// solver stage's worker team.
+func (m *Meter) AddPoolDelta(before, after spmat.PoolStats) {
+	if m == nil {
+		return
+	}
+	d := after.Sub(before)
+	m.mu.Lock()
+	m.pool.SpMVs += d.SpMVs
+	m.pool.RowSweeps += d.RowSweeps
+	m.pool.NNZ += d.NNZ
+	m.pool.KernelNS += d.KernelNS
+	m.mu.Unlock()
+}
+
+// spmvBytesPerNNZ is the traffic estimate per stored entry of a sparse
+// product: the 8-byte value plus the 8-byte column index. Vector traffic
+// is excluded — for the banded TPMs here it is second-order.
+const spmvBytesPerNNZ = 16
+
+// Finish closes the meter and assembles the report. The caller fills the
+// identity fields (Trace, Endpoint, SpecKey) and matrix dimensions it
+// knows. Finish may be called on a nil meter (zero report).
+func (m *Meter) Finish() SolveReport {
+	if m == nil {
+		return SolveReport{}
+	}
+	m.SampleGoroutines()
+	wall := time.Since(m.start)
+	cpu := ProcessCPU() - m.cpu0
+	if cpu < 0 {
+		cpu = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rep := SolveReport{
+		Start:          m.start,
+		WallNS:         wall.Nanoseconds(),
+		CPUNS:          cpu.Nanoseconds(),
+		PeakGoroutines: int(m.peakG.Load()),
+		WorkspaceBytes: m.wsBytes.Load(),
+		Cycles:         m.cycles.Load(),
+		Sweeps:         m.sweeps.Load(),
+		Restarts:       m.restarts.Load(),
+		Pool:           m.pool,
+		Levels:         m.levels,
+	}
+	if m.hasRes {
+		rep.FinalResidual = m.finalRes
+		held := m.tailN
+		if held > ResidualTailMax {
+			held = ResidualTailMax
+		}
+		rep.ResidualTail = make([]float64, held)
+		for i := uint64(0); i < held; i++ {
+			rep.ResidualTail[i] = m.tail[(m.tailN-held+i)%ResidualTailMax]
+		}
+	}
+	if m.pool.KernelNS > 0 {
+		rep.SpMVGBps = float64(m.pool.NNZ) * spmvBytesPerNNZ / float64(m.pool.KernelNS)
+	}
+	return rep
+}
+
+// meterKey carries the solve's meter through its context.
+type meterKey struct{}
+
+// ContextWith returns a context carrying the meter; solver entry points
+// read it back with FromContext. A nil meter returns ctx unchanged.
+func ContextWith(ctx context.Context, m *Meter) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if m == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, meterKey{}, m)
+}
+
+// FromContext returns the meter carried by ctx, or nil (the valid no-op
+// meter) when the context carries none or is nil.
+func FromContext(ctx context.Context) *Meter {
+	if ctx == nil {
+		return nil
+	}
+	m, _ := ctx.Value(meterKey{}).(*Meter)
+	return m
+}

@@ -1,0 +1,343 @@
+package cost
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cdrstoch/internal/obs"
+	"cdrstoch/internal/spmat"
+)
+
+func TestMeterNilIsNoOp(t *testing.T) {
+	var m *Meter
+	m.SampleGoroutines()
+	m.AddCycles(3)
+	m.AddSweeps(5)
+	m.AddRestarts(1)
+	m.AddWorkspaceBytes(64)
+	m.AddResidual(1e-9)
+	m.SetLevels([]LevelCost{{Level: 0}})
+	m.AddPoolDelta(spmat.PoolStats{}, spmat.PoolStats{SpMVs: 3})
+	rep := m.Finish()
+	if rep.Cycles != 0 || rep.Sweeps != 0 || rep.Pool.SpMVs != 0 {
+		t.Errorf("nil meter produced non-zero report: %+v", rep)
+	}
+}
+
+func TestMeterAccumulates(t *testing.T) {
+	m := NewMeter()
+	m.AddCycles(7)
+	m.AddSweeps(40)
+	m.AddRestarts(2)
+	m.AddWorkspaceBytes(1024)
+	m.AddPoolDelta(
+		spmat.PoolStats{SpMVs: 2, NNZ: 100, KernelNS: 50},
+		spmat.PoolStats{SpMVs: 12, RowSweeps: 4, NNZ: 1100, KernelNS: 1050},
+	)
+	m.SetLevels([]LevelCost{{Level: 0, Size: 64, Visits: 7, SmoothNS: 123}})
+	for i := 0; i < 5; i++ {
+		m.AddResidual(1.0 / float64(i+1))
+	}
+	rep := m.Finish()
+	if rep.Cycles != 7 || rep.Sweeps != 40 || rep.Restarts != 2 {
+		t.Errorf("cycles/sweeps/restarts = %d/%d/%d", rep.Cycles, rep.Sweeps, rep.Restarts)
+	}
+	if rep.WorkspaceBytes != 1024 {
+		t.Errorf("workspace = %d", rep.WorkspaceBytes)
+	}
+	if rep.Pool.SpMVs != 10 || rep.Pool.RowSweeps != 4 || rep.Pool.NNZ != 1000 || rep.Pool.KernelNS != 1000 {
+		t.Errorf("pool delta = %+v", rep.Pool)
+	}
+	// 1000 nnz · 16 B over 1000 ns = 16 GB/s.
+	if rep.SpMVGBps < 15.9 || rep.SpMVGBps > 16.1 {
+		t.Errorf("bandwidth = %g, want 16", rep.SpMVGBps)
+	}
+	if rep.FinalResidual != 0.2 {
+		t.Errorf("final residual = %g, want 0.2", rep.FinalResidual)
+	}
+	if len(rep.ResidualTail) != 5 || rep.ResidualTail[0] != 1.0 || rep.ResidualTail[4] != 0.2 {
+		t.Errorf("residual tail = %v", rep.ResidualTail)
+	}
+	if len(rep.Levels) != 1 || rep.Levels[0].Visits != 7 {
+		t.Errorf("levels = %+v", rep.Levels)
+	}
+	if rep.WallNS <= 0 {
+		t.Errorf("wall = %d", rep.WallNS)
+	}
+	if rep.PeakGoroutines < 1 {
+		t.Errorf("peak goroutines = %d", rep.PeakGoroutines)
+	}
+}
+
+func TestMeterResidualTailBounded(t *testing.T) {
+	m := NewMeter()
+	const n = ResidualTailMax + 7
+	for i := 1; i <= n; i++ {
+		m.AddResidual(float64(i))
+	}
+	rep := m.Finish()
+	if len(rep.ResidualTail) != ResidualTailMax {
+		t.Fatalf("tail length = %d, want %d", len(rep.ResidualTail), ResidualTailMax)
+	}
+	// Oldest retained first: residuals n-ResidualTailMax+1 .. n.
+	if rep.ResidualTail[0] != float64(n-ResidualTailMax+1) {
+		t.Errorf("tail[0] = %g, want %g", rep.ResidualTail[0], float64(n-ResidualTailMax+1))
+	}
+	if rep.ResidualTail[ResidualTailMax-1] != float64(n) {
+		t.Errorf("tail last = %g, want %g", rep.ResidualTail[ResidualTailMax-1], float64(n))
+	}
+	if rep.FinalResidual != float64(n) {
+		t.Errorf("final = %g", rep.FinalResidual)
+	}
+}
+
+func TestMeterContextRoundTrip(t *testing.T) {
+	m := NewMeter()
+	ctx := ContextWith(context.Background(), m)
+	if got := FromContext(ctx); got != m {
+		t.Error("meter did not round-trip through context")
+	}
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context yielded a meter")
+	}
+	if FromContext(nil) != nil {
+		t.Error("nil context yielded a meter")
+	}
+	// Nil meter leaves ctx untouched; nil ctx is upgraded.
+	if ContextWith(ctx, nil) != ctx {
+		t.Error("nil meter should return ctx unchanged")
+	}
+	if FromContext(ContextWith(nil, m)) != m {
+		t.Error("nil ctx with meter lost the meter")
+	}
+}
+
+func TestProcessCPUAdvances(t *testing.T) {
+	c0 := ProcessCPU()
+	if c0 < 0 {
+		t.Fatalf("ProcessCPU = %v", c0)
+	}
+	// Burn a little CPU; the rusage clock should not go backwards.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i % 7)
+	}
+	_ = x
+	if c1 := ProcessCPU(); c1 < c0 {
+		t.Errorf("CPU time went backwards: %v -> %v", c0, c1)
+	}
+}
+
+func TestRingEvictionAndFilter(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ {
+		r.Add(SolveReport{Trace: string(rune('a' + i)), Endpoint: "analyze",
+			WallNS: int64(i+1) * int64(time.Millisecond)})
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", r.Dropped())
+	}
+	reps := r.Reports(Filter{})
+	if len(reps) != 4 || reps[0].Trace != "f" || reps[3].Trace != "c" {
+		t.Errorf("newest-first order broken: %+v", reps)
+	}
+	// Evicted entries are gone.
+	if _, ok := r.LatestByTrace("a"); ok {
+		t.Error("evicted report still findable")
+	}
+	if rep, ok := r.LatestByTrace("e"); !ok || rep.Trace != "e" {
+		t.Errorf("LatestByTrace(e) = %+v, %v", rep, ok)
+	}
+	// MinWall and Limit compose.
+	reps = r.Reports(Filter{MinWall: 4 * time.Millisecond, Limit: 1})
+	if len(reps) != 1 || reps[0].Trace != "f" {
+		t.Errorf("filtered = %+v", reps)
+	}
+	if got := r.Reports(Filter{Endpoint: "slip"}); len(got) != 0 {
+		t.Errorf("endpoint filter matched %d", len(got))
+	}
+}
+
+func TestRingNilTolerant(t *testing.T) {
+	var r *Ring
+	r.Add(SolveReport{})
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Error("nil ring reported contents")
+	}
+	if got := r.Reports(Filter{}); got != nil {
+		t.Errorf("nil ring reports = %v", got)
+	}
+	if _, ok := r.LatestByTrace("x"); ok {
+		t.Error("nil ring found a trace")
+	}
+}
+
+func TestWriteTableSortsByCPU(t *testing.T) {
+	var sb strings.Builder
+	err := WriteTable(&sb, []SolveReport{
+		{Trace: "cheap", CPUNS: 1e6},
+		{Trace: "costly", CPUNS: 9e6, Cached: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "TRACE") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "costly") || !strings.Contains(lines[1], "hit") {
+		t.Errorf("row 1 = %q, want costly/hit first", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "cheap") || !strings.Contains(lines[2], "miss") {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+// failAfter fails every write after the first n bytes succeed.
+type failAfter struct {
+	n       int
+	written int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.written >= f.n {
+		return 0, errors.New("sink broke")
+	}
+	f.written += len(p)
+	return len(p), nil
+}
+
+func TestJSONLStickyError(t *testing.T) {
+	var sb strings.Builder
+	s := NewJSONL(&sb)
+	s.Write(SolveReport{Trace: "t1"})
+	if s.Err() != nil || s.Dropped() != 0 {
+		t.Fatalf("healthy sink: err=%v dropped=%d", s.Err(), s.Dropped())
+	}
+	var rep SolveReport
+	if err := json.Unmarshal([]byte(sb.String()), &rep); err != nil || rep.Trace != "t1" {
+		t.Fatalf("line = %q: %v", sb.String(), err)
+	}
+
+	broken := NewJSONL(&failAfter{})
+	broken.Write(SolveReport{})
+	broken.Write(SolveReport{})
+	if broken.Err() == nil {
+		t.Error("write error did not stick")
+	}
+	if broken.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", broken.Dropped())
+	}
+
+	var nilSink *JSONL
+	nilSink.Write(SolveReport{})
+	if nilSink.Err() != nil || nilSink.Dropped() != 0 {
+		t.Error("nil sink misbehaved")
+	}
+}
+
+func TestAggregateEndpointHistograms(t *testing.T) {
+	reg := obs.NewRegistry()
+	Aggregate(reg, SolveReport{Endpoint: "analyze", CPUNS: 2e9, WallNS: 3e9,
+		Cycles: 11, Pool: PoolCost{SpMVs: 44}})
+	Aggregate(reg, SolveReport{Endpoint: "analyze", Cached: true})
+	Aggregate(reg, SolveReport{}) // endpoint defaults to "unknown"
+	Aggregate(nil, SolveReport{}) // nil registry no-op
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["cost.reports"]; got != 3 {
+		t.Errorf("cost.reports = %d, want 3", got)
+	}
+	h, ok := snap.Histograms["cost.analyze.cpu_seconds"]
+	if !ok || h.Count != 1 {
+		t.Fatalf("cpu_seconds hist = %+v (cached replay must not count)", h)
+	}
+	if h.Sum < 1.9 || h.Sum > 2.1 {
+		t.Errorf("cpu_seconds sum = %g", h.Sum)
+	}
+	if h := snap.Histograms["cost.analyze.spmv_total"]; h.Sum != 44 {
+		t.Errorf("spmv_total sum = %g", h.Sum)
+	}
+	if h := snap.Histograms["cost.analyze.cycles"]; h.Sum != 11 {
+		t.Errorf("cycles sum = %g", h.Sum)
+	}
+	if _, ok := snap.Histograms["cost.unknown.cpu_seconds"]; !ok {
+		t.Error("empty endpoint did not map to unknown")
+	}
+}
+
+func TestRuntimeCollectorPoll(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Poll()
+	snap := reg.Snapshot()
+	if g := snap.Gauges["runtime.sched_goroutines_goroutines"]; g < 1 {
+		t.Errorf("goroutine gauge = %g", g)
+	}
+	if g := snap.Gauges["runtime.memory_classes_total_bytes"]; g <= 0 {
+		t.Errorf("total memory gauge = %g", g)
+	}
+	// Histogram samples export as _p50/_p99 quantile gauges.
+	for _, name := range []string{"runtime.gc_pauses_seconds_p50", "runtime.gc_pauses_seconds_p99",
+		"runtime.sched_latencies_seconds_p50", "runtime.sched_latencies_seconds_p99"} {
+		if _, ok := snap.Gauges[name]; !ok {
+			t.Errorf("missing quantile gauge %s", name)
+		}
+	}
+	// Every exported name must survive metrics lint.
+	if probs := snap.LintMetrics(); len(probs) != 0 {
+		t.Errorf("runtime gauges fail lint: %v", probs)
+	}
+	// Nil collector / registry are no-ops.
+	var nc *RuntimeCollector
+	nc.Poll()
+	NewRuntimeCollector(nil).Poll()
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewRuntimeCollector(reg)
+	stop := c.Start(time.Millisecond)
+	defer stop()
+	// The immediate poll guarantees the gauges exist before any tick.
+	if g := reg.Snapshot().Gauges["runtime.sched_goroutines_goroutines"]; g < 1 {
+		t.Errorf("immediate poll missing: %g", g)
+	}
+	stop()
+	// interval <= 0 returns a valid no-op stop.
+	c.Start(0)()
+}
+
+func TestRuntimeGaugeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"/gc/pauses:seconds":           "runtime.gc_pauses_seconds",
+		"/sched/goroutines:goroutines": "runtime.sched_goroutines_goroutines",
+	} {
+		if got := runtimeGaugeName(in); got != want {
+			t.Errorf("runtimeGaugeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSolveReportJSONOmitsEmpty(t *testing.T) {
+	b, err := json.Marshal(SolveReport{WallNS: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, absent := range []string{"trace_id", "levels", "residual_tail", "error", "cached"} {
+		if strings.Contains(string(b), `"`+absent+`"`) {
+			t.Errorf("zero report JSON contains %q: %s", absent, b)
+		}
+	}
+}

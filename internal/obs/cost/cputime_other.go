@@ -1,0 +1,9 @@
+//go:build !unix
+
+package cost
+
+import "time"
+
+// ProcessCPU is unavailable on this platform; reports carry CPUNS = 0
+// and readers fall back to wall time.
+func ProcessCPU() time.Duration { return 0 }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package cost
+
+import (
+	"syscall"
+	"time"
+)
+
+// ProcessCPU returns the process's cumulative CPU time, user plus
+// system, via getrusage(RUSAGE_SELF). Meters difference two readings to
+// attribute CPU to a solve; because the reading is process-wide,
+// concurrent solves over-attribute each other's work (documented on
+// SolveReport.CPUNS).
+func ProcessCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano()+ru.Stime.Nano()) * time.Nanosecond
+}

@@ -1,0 +1,62 @@
+package cost
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// JSONL writes SolveReports as JSON Lines for offline analysis — the
+// report-level sibling of obs.JSONL. The first write error sticks: later
+// writes are dropped and counted rather than spamming a broken sink, and
+// the sticky error plus drop count surface through Err/Dropped (and from
+// there the Registry).
+type JSONL struct {
+	mu      sync.Mutex
+	enc     *json.Encoder
+	err     error
+	dropped uint64
+}
+
+// NewJSONL wraps w as a report sink.
+func NewJSONL(w io.Writer) *JSONL {
+	return &JSONL{enc: json.NewEncoder(w)}
+}
+
+// Write appends one report line. Nil-tolerant; after the first error all
+// writes are counted as dropped.
+func (s *JSONL) Write(rep SolveReport) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		s.dropped++
+		return
+	}
+	if err := s.enc.Encode(rep); err != nil {
+		s.err = err
+		s.dropped++
+	}
+}
+
+// Err returns the sticky write error, if any.
+func (s *JSONL) Err() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Dropped reports how many reports were lost to the sticky error.
+func (s *JSONL) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}

@@ -1,0 +1,174 @@
+package cost
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultRingSize is the number of SolveReports a Ring retains when the
+// caller does not choose a size.
+const DefaultRingSize = 512
+
+// Ring is a bounded, concurrency-safe buffer of the most recent
+// SolveReports: the backing store of GET /debug/solves. When full, each
+// Add overwrites the oldest report and increments the sticky Dropped
+// counter, so silent loss is observable in the Registry.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []SolveReport
+	next    uint64 // total reports ever added (write cursor)
+	dropped uint64
+}
+
+// NewRing creates a ring holding size reports; size <= 0 selects
+// DefaultRingSize.
+func NewRing(size int) *Ring {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Ring{buf: make([]SolveReport, size)}
+}
+
+// Add records a report, evicting the oldest when full. Nil-tolerant.
+func (r *Ring) Add(rep SolveReport) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.next >= uint64(len(r.buf)) {
+		r.dropped++
+	}
+	r.buf[r.next%uint64(len(r.buf))] = rep
+	r.next++
+	r.mu.Unlock()
+}
+
+// Dropped reports how many reports were evicted before being read.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len reports how many reports the ring currently retains.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.held())
+}
+
+// held returns the retained count; callers hold r.mu.
+func (r *Ring) held() uint64 {
+	if r.next < uint64(len(r.buf)) {
+		return r.next
+	}
+	return uint64(len(r.buf))
+}
+
+// Filter selects reports from a Ring. Zero-valued fields match
+// everything; string fields match exactly.
+type Filter struct {
+	Trace    string
+	SpecKey  string
+	Endpoint string
+	// MinWall drops reports that finished faster than this.
+	MinWall time.Duration
+	// Limit caps the result count; <= 0 means no cap beyond ring size.
+	Limit int
+}
+
+func (f Filter) match(rep *SolveReport) bool {
+	if f.Trace != "" && rep.Trace != f.Trace {
+		return false
+	}
+	if f.SpecKey != "" && rep.SpecKey != f.SpecKey {
+		return false
+	}
+	if f.Endpoint != "" && rep.Endpoint != f.Endpoint {
+		return false
+	}
+	if f.MinWall > 0 && rep.WallNS < f.MinWall.Nanoseconds() {
+		return false
+	}
+	return true
+}
+
+// Reports returns the matching reports newest first, copied out so the
+// caller can render without holding the ring lock.
+func (r *Ring) Reports(f Filter) []SolveReport {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	held := r.held()
+	var out []SolveReport
+	for i := uint64(0); i < held; i++ {
+		rep := &r.buf[(r.next-1-i)%uint64(len(r.buf))]
+		if !f.match(rep) {
+			continue
+		}
+		out = append(out, *rep)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// LatestByTrace returns the newest report with the given trace ID, or
+// false when none is retained.
+func (r *Ring) LatestByTrace(trace string) (SolveReport, bool) {
+	if trace == "" {
+		return SolveReport{}, false
+	}
+	reps := r.Reports(Filter{Trace: trace, Limit: 1})
+	if len(reps) == 0 {
+		return SolveReport{}, false
+	}
+	return reps[0], true
+}
+
+// WriteTable renders reports as a fixed-width human text table, sorted
+// by CPU time descending — the /debug/solves text rendering and the
+// cdrreport -top screen share it.
+func WriteTable(w io.Writer, reps []SolveReport) error {
+	sorted := make([]SolveReport, len(reps))
+	copy(sorted, reps)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].CPUNS > sorted[j].CPUNS })
+	if _, err := fmt.Fprintf(w, "%-10s %-8s %-12s %9s %9s %7s %7s %9s %7s %6s %s\n",
+		"TRACE", "ENDPOINT", "SPEC", "CPU_MS", "WALL_MS", "CYCLES", "SWEEPS", "SPMVS", "GB/S", "CACHE", "ERR"); err != nil {
+		return err
+	}
+	for i := range sorted {
+		rep := &sorted[i]
+		cache := "miss"
+		if rep.Cached {
+			cache = "hit"
+		}
+		if _, err := fmt.Fprintf(w, "%-10s %-8s %-12s %9.2f %9.2f %7d %7d %9d %7.2f %6s %s\n",
+			clip(rep.Trace, 10), clip(rep.Endpoint, 8), clip(rep.SpecKey, 12),
+			rep.CPUMS(), rep.WallMS(), rep.Cycles, rep.Sweeps,
+			rep.Pool.SpMVs, rep.SpMVGBps, cache, rep.Err); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// clip truncates s to at most n bytes for table cells.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

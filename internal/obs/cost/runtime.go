@@ -1,0 +1,149 @@
+package cost
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"cdrstoch/internal/obs"
+)
+
+// runtimeSamples is the fixed runtime/metrics read set of the collector.
+// Each entry maps one runtime sample to one (or, for histograms, a few)
+// gauges in the Registry under the runtime.* namespace. The set is
+// deliberately small and fixed-cardinality: scheduler decisions need GC
+// pressure, heap size, scheduling latency, and goroutine count — not the
+// full runtime/metrics catalogue.
+var runtimeSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/memory/classes/total:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// RuntimeCollector polls runtime/metrics into Registry gauges so the
+// process's GC and scheduler health exports alongside solver metrics.
+type RuntimeCollector struct {
+	reg     *obs.Registry
+	samples []metrics.Sample
+}
+
+// NewRuntimeCollector prepares a collector writing into reg.
+func NewRuntimeCollector(reg *obs.Registry) *RuntimeCollector {
+	s := make([]metrics.Sample, len(runtimeSamples))
+	for i, name := range runtimeSamples {
+		s[i].Name = name
+	}
+	return &RuntimeCollector{reg: reg, samples: s}
+}
+
+// Poll reads the sample set once and updates the gauges. Unknown or
+// unsupported samples (KindBad on older runtimes) are skipped, so the
+// collector degrades instead of panicking across Go versions.
+func (c *RuntimeCollector) Poll() {
+	if c == nil || c.reg == nil {
+		return
+	}
+	metrics.Read(c.samples)
+	for i := range c.samples {
+		s := &c.samples[i]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			c.reg.Gauge(runtimeGaugeName(s.Name)).Set(float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			c.reg.Gauge(runtimeGaugeName(s.Name)).Set(s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			base := runtimeGaugeName(s.Name)
+			c.reg.Gauge(base + "_p50").Set(histQuantile(h, 0.5))
+			c.reg.Gauge(base + "_p99").Set(histQuantile(h, 0.99))
+		}
+	}
+}
+
+// Start polls immediately and then every interval until the returned
+// stop function is called. interval <= 0 disables polling (stop is still
+// valid). Stop is idempotent — shutdown paths may race to call it. The
+// polling goroutine is the only writer of these gauges.
+func (c *RuntimeCollector) Start(interval time.Duration) (stop func()) {
+	if c == nil || c.reg == nil || interval <= 0 {
+		return func() {}
+	}
+	c.Poll()
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Poll()
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// runtimeGaugeName maps a runtime/metrics name like
+// "/gc/pauses:seconds" to a registry gauge name like
+// "runtime.gc_pauses_seconds" — characters outside the metric-name
+// convention (see obs.LintNames) become underscores.
+func runtimeGaugeName(sample string) string {
+	b := []byte("runtime.")
+	for i := 0; i < len(sample); i++ {
+		ch := sample[i]
+		switch {
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch >= '0' && ch <= '9':
+			b = append(b, ch)
+		case ch == '/' && i == 0:
+			// drop the leading slash
+		default:
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+// histQuantile estimates quantile q of a runtime Float64Histogram by
+// walking bucket counts and returning the lower bound of the bucket
+// where the cumulative count crosses q. Infinite bounds clamp to the
+// nearest finite neighbour; an empty histogram reports 0.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			lo := h.Buckets[i]
+			if isInf(lo) {
+				// -Inf lower bound: use the bucket's finite upper bound.
+				lo = h.Buckets[i+1]
+				if isInf(lo) {
+					return 0
+				}
+			}
+			return lo
+		}
+	}
+	// q beyond the last populated bucket: the highest finite bound.
+	for i := len(h.Buckets) - 1; i >= 0; i-- {
+		if !isInf(h.Buckets[i]) {
+			return h.Buckets[i]
+		}
+	}
+	return 0
+}
+
+func isInf(v float64) bool { return v > 1e308 || v < -1e308 }

@@ -140,6 +140,7 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	timers     map[string]*Timer
 	histograms map[string]*Histogram
+	gaugeFuncs map[string]func() float64
 }
 
 // NewRegistry returns an empty registry.
@@ -149,6 +150,7 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		timers:     make(map[string]*Timer),
 		histograms: make(map[string]*Histogram),
+		gaugeFuncs: make(map[string]func() float64),
 	}
 }
 
@@ -212,6 +214,21 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// GaugeFunc registers a gauge whose value is computed at snapshot time
+// by calling fn — the right shape for values the process already tracks
+// elsewhere (uptime, ring drop counts, queue depths). fn must be safe
+// for concurrent use and must not call back into the registry. A
+// computed gauge shares the gauge namespace: it shadows any stored Gauge
+// of the same name in snapshots. Nil registry or nil fn is a no-op.
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gaugeFuncs[name] = fn
+	r.mu.Unlock()
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry.
 type Snapshot struct {
 	Counters   map[string]int64          `json:"counters,omitempty"`
@@ -249,12 +266,21 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.histograms {
 		histograms[k] = v
 	}
+	gaugeFuncs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for k, v := range r.gaugeFuncs {
+		gaugeFuncs[k] = v
+	}
 	r.mu.Unlock()
 	for k, v := range counters {
 		s.Counters[k] = v.Value()
 	}
 	for k, v := range gauges {
 		s.Gauges[k] = v.Value()
+	}
+	// Computed gauges run after the unlock (they may be slow or sample
+	// other locks) and win name conflicts with stored gauges.
+	for k, fn := range gaugeFuncs {
+		s.Gauges[k] = fn()
 	}
 	for k, v := range timers {
 		s.Timers[k] = v.Stats()

@@ -1,9 +1,12 @@
 package passage
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"math"
 
+	"cdrstoch/internal/obs/cost"
 	"cdrstoch/internal/spmat"
 )
 
@@ -49,6 +52,11 @@ type QSOptions struct {
 	// Pool optionally supplies an externally owned worker team; it is
 	// never closed by the solver.
 	Pool *spmat.Pool
+	// Ctx, when non-nil, is checked at every sweep boundary: a canceled
+	// or expired context stops the solve with a partial-progress error
+	// wrapping ctx.Err(). It also carries the cost meter, when the caller
+	// accounts the solve. Nil never cancels.
+	Ctx context.Context
 }
 
 // QuasiStationary computes (ν, λ) by power iteration on the substochastic
@@ -108,7 +116,26 @@ func QuasiStationaryOpt(p *spmat.CSR, target []bool, opt QSOptions) (QuasiStatio
 	}
 	y := make([]float64, n)
 	res := QuasiStationaryResult{}
+	// Cost accounting: one meter lookup per solve; the deferred
+	// attribution also covers the cancellation return.
+	meter := cost.FromContext(opt.Ctx)
+	if meter != nil {
+		stats0 := pool.Stats()
+		meter.SampleGoroutines()
+		defer func() {
+			meter.AddSweeps(int64(res.Iterations))
+			meter.AddPoolDelta(stats0, pool.Stats())
+		}()
+	}
 	for it := 1; it <= maxIter; it++ {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				res.Nu = x
+				res.HazardPerStep = 1 - res.Lambda
+				return res, fmt.Errorf("passage: quasi-stationary solve stopped after %d sweeps: %w",
+					res.Iterations, err)
+			}
+		}
 		// y = x·Q: propagate through P, then zero the target states.
 		pool.VecMul(p, y, x)
 		lambda := 0.0
@@ -133,7 +160,11 @@ func QuasiStationaryOpt(p *spmat.CSR, target []bool, opt QSOptions) (QuasiStatio
 		res.Lambda = lambda
 		if resid <= tol {
 			res.Converged = true
+			meter.AddResidual(resid)
 			break
+		}
+		if it == maxIter {
+			meter.AddResidual(resid)
 		}
 	}
 	res.Nu = x

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -15,6 +16,8 @@ import (
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/multigrid"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
+	"cdrstoch/internal/passage"
 	"cdrstoch/internal/serve/speckey"
 	"cdrstoch/internal/spmat"
 )
@@ -55,6 +58,13 @@ type EngineConfig struct {
 	// (multigrid.cycle). Nil (the default) disables injection at zero
 	// cost.
 	Faults *faults.Injector
+	// Costs receives one SolveReport per cache-miss solve (the backing
+	// store of /debug/solves and the X-Solve-Cost-* headers). Nil skips
+	// the ring but the per-endpoint histograms still reach Registry.
+	Costs *cost.Ring
+	// CostLog optionally mirrors every SolveReport to a JSONL sink for
+	// offline analysis. Nil disables the sink.
+	CostLog *cost.JSONL
 }
 
 // Engine maps specs to immutable response bodies: content-addressed cache
@@ -225,52 +235,97 @@ func validate(spec core.Spec) (string, error) {
 // observations.
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
+// shortKey returns the spec-key prefix used in error messages and pprof
+// labels (bounded cardinality for profile label indexes).
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
 // solve builds the model and runs the stationary analysis under ctx.
 // Both stages record latency histograms (serve.build_ms, serve.solve_ms)
 // and emit trace-stamped spans, so per-request traces and the flight
-// recorder see the engine stages alongside the solver's own events.
-func (e *Engine) solve(ctx context.Context, spec core.Spec, key string) (*core.Model, *core.Analysis, error) {
+// recorder see the engine stages alongside the solver's own events. The
+// stages additionally run under pprof labels (endpoint, spec, stage), so
+// CPU profiles of a busy server attribute samples to the spec being
+// solved, not just to "the solver".
+func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint string) (*core.Model, *core.Analysis, error) {
 	if err := e.acquire(ctx); err != nil {
 		return nil, nil, err
 	}
 	defer e.release()
 	if err := e.cfg.Faults.FireCtx(ctx, "engine.solve"); err != nil {
-		return nil, nil, fmt.Errorf("serve: solve %s: %w", key[:12], err)
+		return nil, nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), err)
 	}
 	defer e.reg.Timer("serve.solve").Time()()
 	e.reg.Counter("serve.solves").Inc()
 	tr := obs.StampFromContext(ctx, e.cfg.Tracer)
 
+	var m *core.Model
+	var err error
 	buildStart := time.Now()
 	endBuild := obs.StartSpan(tr, "serve.build")
-	m, err := core.Build(spec)
+	pprof.Do(ctx, pprof.Labels("endpoint", endpoint, "spec", shortKey(key), "stage", "build"), func(ctx context.Context) {
+		m, err = core.Build(spec)
+	})
 	endBuild()
 	e.reg.Histogram("serve.build_ms").Observe(ms(time.Since(buildStart)))
 	if err != nil {
-		return nil, nil, fmt.Errorf("serve: build %s: %w", key[:12], err)
+		return nil, nil, fmt.Errorf("serve: build %s: %w", shortKey(key), err)
 	}
 	team := e.teams.Get().(*spmat.Pool)
 	defer e.teams.Put(team)
 	mg := e.cfg.Multigrid
-	mg.Ctx = ctx
 	mg.Trace = e.cfg.Tracer
 	mg.Pool = team
 	mg.Faults = e.cfg.Faults
+	var a *core.Analysis
 	solveStart := time.Now()
 	endSolve := obs.StartSpan(tr, "serve.solve")
-	a, err := m.Solve(core.SolveOptions{Multigrid: mg})
+	pprof.Do(ctx, pprof.Labels("endpoint", endpoint, "spec", shortKey(key), "stage", "solve"), func(ctx context.Context) {
+		mg.Ctx = ctx // the labeled ctx still carries trace ID and meter
+		a, err = m.Solve(core.SolveOptions{Multigrid: mg})
+	})
 	endSolve()
 	e.reg.Histogram("serve.solve_ms").Observe(ms(time.Since(solveStart)))
 	if err != nil {
 		if errors.Is(err, core.ErrUnconverged) {
 			e.reg.Counter("serve.unconverged").Inc()
 		}
-		return nil, nil, fmt.Errorf("serve: solve %s: %w", key[:12], err)
+		return m, nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), err)
 	}
 	e.reg.Counter("serve.solver_cycles").Add(int64(a.Multigrid.Cycles))
 	e.reg.Histogram("serve.solve_cycles").Observe(float64(a.Multigrid.Cycles))
 	return m, a, nil
 }
+
+// recordCost closes a solve's meter and fans the report out to the ring,
+// the registry histograms, and the JSONL sink. m may be nil (build
+// failed); err annotates failed solves. The report's trace identity
+// comes from the context the solve actually ran under, so async jobs
+// carry their submitter's trace ID even across retries.
+func (e *Engine) recordCost(ctx context.Context, meter *cost.Meter, endpoint, key string, m *core.Model, err error) {
+	rep := meter.Finish()
+	rep.Endpoint = endpoint
+	rep.SpecKey = key
+	rep.Trace, rep.Parent = obs.TraceFromContext(ctx)
+	if m != nil && m.P != nil {
+		rep.States = m.NumStates()
+		rep.NNZ = m.P.NNZ()
+		rep.MatrixBytes = m.P.MemoryBytes()
+	}
+	if err != nil {
+		rep.Err = err.Error()
+	}
+	e.cfg.Costs.Add(rep)
+	cost.Aggregate(e.reg, rep)
+	e.cfg.CostLog.Write(rep)
+}
+
+// Costs exposes the engine's report ring (for the HTTP layer).
+func (e *Engine) Costs() *cost.Ring { return e.cfg.Costs }
 
 func slipBody(m *core.Model, a *core.Analysis) (SlipBody, error) {
 	flux, err := m.SlipStats(a.Pi)
@@ -303,7 +358,10 @@ func (e *Engine) Analyze(ctx context.Context, spec core.Spec) ([]byte, bool, err
 	}
 	return e.cached(ctx, "analyze:"+h, func(ctx context.Context) ([]byte, error) {
 		start := time.Now()
-		m, a, err := e.solve(ctx, spec, h)
+		meter := cost.NewMeter()
+		ctx = cost.ContextWith(ctx, meter)
+		m, a, err := e.solve(ctx, spec, h, "analyze")
+		defer func() { e.recordCost(ctx, meter, "analyze", h, m, err) }()
 		if err != nil {
 			return nil, err
 		}
@@ -343,7 +401,10 @@ func (e *Engine) Slip(ctx context.Context, spec core.Spec) ([]byte, bool, error)
 		return nil, false, err
 	}
 	return e.cached(ctx, "slip:"+h, func(ctx context.Context) ([]byte, error) {
-		m, a, err := e.solve(ctx, spec, h)
+		meter := cost.NewMeter()
+		ctx = cost.ContextWith(ctx, meter)
+		m, a, err := e.solve(ctx, spec, h, "slip")
+		defer func() { e.recordCost(ctx, meter, "slip", h, m, err) }()
 		if err != nil {
 			return nil, err
 		}
@@ -353,8 +414,10 @@ func (e *Engine) Slip(ctx context.Context, spec core.Spec) ([]byte, bool, error)
 		}
 		body := SlipResponse{SpecKey: h, States: m.NumStates(), Slip: slip}
 		// The quasi-stationary refinement only exists when the slip set is
-		// nonempty and reachable; degrade gracefully when it is not.
-		if qs, err := m.SlipQuasiStationary(); err == nil {
+		// nonempty and reachable; degrade gracefully when it is not. It
+		// runs under the metered ctx so its sweeps are attributed (and
+		// canceled) with the rest of the request.
+		if qs, qerr := m.SlipQuasiStationaryOpt(passage.QSOptions{Ctx: ctx, Workers: e.cfg.SolveWorkers}); qerr == nil {
 			body.HazardPerBit = fptr(qs.HazardPerStep)
 			body.ConditionedBER = fptr(m.BER(qs.Nu))
 		}

@@ -11,6 +11,7 @@ import (
 
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
 )
 
 // ErrQueueFull reports that the job queue rejected a submission; the HTTP
@@ -48,6 +49,10 @@ type JobView struct {
 	Retries int             `json:"retries,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
+	// Cost is the SolveReport of the job's solve, attached by the HTTP
+	// layer at poll time for terminal jobs whose report is still retained
+	// in the cost ring (matched by TraceID).
+	Cost *cost.SolveReport `json:"cost,omitempty"`
 }
 
 // job is the internal record behind a JobView.

@@ -16,6 +16,7 @@ import (
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
 )
 
 // ServerConfig parameterizes a Server.
@@ -58,6 +59,12 @@ type ServerConfig struct {
 	// JobRetryBase is the first retry backoff; attempt k waits a
 	// jittered JobRetryBase·2^k. Default 25ms.
 	JobRetryBase time.Duration
+	// CostRingSize bounds the in-memory SolveReport ring behind
+	// /debug/solves. Default cost.DefaultRingSize.
+	CostRingSize int
+	// CostLog optionally mirrors every SolveReport to a JSONL sink for
+	// offline analysis; its drop counter is exported as cost.log_dropped.
+	CostLog *cost.JSONL
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -94,6 +101,7 @@ type Server struct {
 	jobs   *Jobs
 	reg    *obs.Registry
 	flight *obs.FlightRecorder
+	costs  *cost.Ring
 }
 
 // NewServer returns a ready Server.
@@ -104,11 +112,20 @@ func NewServer(cfg ServerConfig) *Server {
 	// when nothing else is listening.
 	flight := obs.NewFlightRecorder(cfg.FlightSize)
 	cfg.Engine.Tracer = obs.Tee(flight, cfg.Engine.Tracer)
-	return &Server{
+	costs := cfg.Engine.Costs
+	if costs == nil {
+		costs = cost.NewRing(cfg.CostRingSize)
+		cfg.Engine.Costs = costs
+	}
+	if cfg.Engine.CostLog == nil {
+		cfg.Engine.CostLog = cfg.CostLog
+	}
+	s := &Server{
 		cfg:    cfg,
 		engine: NewEngine(cfg.Engine),
 		reg:    cfg.Registry,
 		flight: flight,
+		costs:  costs,
 		jobs: NewJobsConfig(JobsConfig{
 			Workers:   cfg.Workers,
 			Depth:     cfg.QueueDepth,
@@ -118,6 +135,20 @@ func NewServer(cfg ServerConfig) *Server {
 			RetryBase: cfg.JobRetryBase,
 		}),
 	}
+	// Process identity and drop-count exports. Start time is a constant
+	// gauge; uptime and the drop counters are computed at snapshot time,
+	// so silent event/report loss is visible on every /metrics scrape.
+	s.reg.Gauge("process.start_time_unix_seconds").Set(float64(buildinfo.StartTime().Unix()))
+	s.reg.GaugeFunc("process.uptime_seconds", func() float64 { return buildinfo.Uptime().Seconds() })
+	s.reg.GaugeFunc("obs.flight_dropped", func() float64 { return float64(flight.Dropped()) })
+	s.reg.GaugeFunc("cost.reports_dropped", func() float64 { return float64(costs.Dropped()) })
+	if cl := cfg.Engine.CostLog; cl != nil {
+		s.reg.GaugeFunc("cost.log_dropped", func() float64 { return float64(cl.Dropped()) })
+	}
+	if j, ok := cfg.Tracer.(*obs.JSONL); ok {
+		s.reg.GaugeFunc("obs.jsonl_dropped", func() float64 { return float64(j.Dropped()) })
+	}
+	return s
 }
 
 // Engine exposes the underlying engine (tests, warm-up solves).
@@ -142,6 +173,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/solves", s.handleSolves)
 	return s.traced(s.recovered(mux))
 }
 
@@ -372,8 +404,34 @@ func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec)
 			s.writeError(w, r, err)
 			return
 		}
+		s.setCostHeaders(w, r, cached)
 		s.writeBody(w, body, cached)
 	}
+}
+
+// setCostHeaders stamps the X-Solve-Cost-* response headers from the
+// solve's SolveReport (matched by the request's trace ID in the cost
+// ring). Cache hits only carry the cache disposition — their body came
+// from an earlier solve whose cost was attributed then. A miss served
+// through singleflight sharing has no report under this trace either;
+// it degrades to the disposition header the same way.
+func (s *Server) setCostHeaders(w http.ResponseWriter, r *http.Request, cached bool) {
+	h := w.Header()
+	if cached {
+		h.Set("X-Solve-Cost-Cache", "hit")
+		return
+	}
+	h.Set("X-Solve-Cost-Cache", "miss")
+	trace, _ := obs.TraceFromContext(r.Context())
+	rep, ok := s.costs.LatestByTrace(trace)
+	if !ok {
+		return
+	}
+	h.Set("X-Solve-Cost-Wall-Ms", strconv.FormatFloat(rep.WallMS(), 'f', 3, 64))
+	h.Set("X-Solve-Cost-Cpu-Ms", strconv.FormatFloat(rep.CPUMS(), 'f', 3, 64))
+	h.Set("X-Solve-Cost-Cycles", strconv.FormatInt(rep.Cycles, 10))
+	h.Set("X-Solve-Cost-Spmvs", strconv.FormatInt(rep.Pool.SpMVs, 10))
+	h.Set("X-Solve-Cost-States", strconv.Itoa(rep.States))
 }
 
 // sweepRequest is the envelope of /v1/sweep.
@@ -425,6 +483,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or evicted job"})
 		return
 	}
+	// Terminal jobs carry their solve's cost report (when the ring still
+	// retains it). The job layer preserved the submitter's trace ID
+	// across retries, so the lookup matches even for retried jobs; the
+	// view's retry count is copied onto the report.
+	if view.Status == StatusDone || view.Status == StatusFailed {
+		if rep, ok := s.costs.LatestByTrace(view.TraceID); ok {
+			rep.Retries = view.Retries
+			rep.Cached = view.Cached
+			view.Cost = &rep
+		}
+	}
 	s.writeJSON(w, http.StatusOK, view)
 }
 
@@ -460,30 +529,109 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// flightBody is the /debug/flight response: everything the ring
-// currently retains, plus how much history has been overwritten.
+// flightBody is the /debug/flight response: the most recent retained
+// events (bounded by ?limit=), plus how much history has been
+// overwritten and how many events this response carries.
 type flightBody struct {
-	Dropped uint64      `json:"dropped"`
-	Events  []obs.Event `json:"events"`
+	Dropped  uint64      `json:"dropped"`
+	Retained int         `json:"retained"`
+	Events   []obs.Event `json:"events"`
+}
+
+// Debug endpoint response bounds: default and maximum ?limit= values.
+// Both /debug/flight and /debug/solves clamp to these so a long-running
+// server never returns an unbounded body.
+const (
+	flightLimitDefault = 1024
+	flightLimitMax     = 4096
+	solvesLimitDefault = 64
+	solvesLimitMax     = 512
+)
+
+// queryLimit parses ?limit= with a default and a hard cap. Absent or
+// unparseable values select the default; non-positive and oversized
+// values clamp into [1, max].
+func queryLimit(r *http.Request, def, max int) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("limit"))
+	if err != nil {
+		return def
+	}
+	if n < 1 {
+		return 1
+	}
+	if n > max {
+		return max
+	}
+	return n
 }
 
 func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
-	events := s.flight.Snapshot()
+	limit := queryLimit(r, flightLimitDefault, flightLimitMax)
+	events := s.flight.Tail(limit)
 	if events == nil {
 		events = []obs.Event{}
 	}
-	s.writeJSON(w, http.StatusOK, flightBody{Dropped: s.flight.Dropped(), Events: events})
+	s.writeJSON(w, http.StatusOK, flightBody{
+		Dropped:  s.flight.Dropped(),
+		Retained: len(events),
+		Events:   events,
+	})
+}
+
+// solvesBody is the /debug/solves JSON response: the matching
+// SolveReports, newest first, plus ring-level loss accounting.
+type solvesBody struct {
+	Count   int                `json:"count"`
+	Dropped uint64             `json:"dropped"`
+	Reports []cost.SolveReport `json:"reports"`
+}
+
+// handleSolves serves the SolveReport ring: the per-solve cost records
+// of recent solves, filterable by trace ID (?trace=), spec key (?spec=),
+// endpoint (?endpoint=), and minimum wall time (?min_ms=), newest first,
+// capped by ?limit=. Accept: text/plain renders the human cost table
+// (sorted by CPU time); everything else gets JSON.
+func (s *Server) handleSolves(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := cost.Filter{
+		Trace:    q.Get("trace"),
+		SpecKey:  q.Get("spec"),
+		Endpoint: q.Get("endpoint"),
+		Limit:    queryLimit(r, solvesLimitDefault, solvesLimitMax),
+	}
+	if minMS, err := strconv.ParseFloat(q.Get("min_ms"), 64); err == nil && minMS > 0 {
+		f.MinWall = time.Duration(minMS * float64(time.Millisecond))
+	}
+	reports := s.costs.Reports(f)
+	if acceptsPrometheus(r.Header.Get("Accept")) {
+		// text/plain: the same human table cdrreport -top renders.
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := cost.WriteTable(w, reports); err != nil {
+			s.reg.Counter("serve.metrics_write_errors").Inc()
+		}
+		return
+	}
+	if reports == nil {
+		reports = []cost.SolveReport{}
+	}
+	s.writeJSON(w, http.StatusOK, solvesBody{
+		Count:   len(reports),
+		Dropped: s.costs.Dropped(),
+		Reports: reports,
+	})
 }
 
 // healthBody is the /healthz response. Version and revision come from
 // the binary's build info, so health checks attribute a running daemon
 // to a commit.
 type healthBody struct {
-	Status       string `json:"status"`
-	Version      string `json:"version"`
-	Revision     string `json:"vcs_revision,omitempty"`
-	CacheEntries int    `json:"cache_entries"`
-	QueueLength  int    `json:"queue_length"`
+	Status       string  `json:"status"`
+	Version      string  `json:"version"`
+	Revision     string  `json:"vcs_revision,omitempty"`
+	StartTime    string  `json:"start_time"`
+	UptimeSecs   float64 `json:"uptime_seconds"`
+	CacheEntries int     `json:"cache_entries"`
+	QueueLength  int     `json:"queue_length"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -492,6 +640,8 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Status:       "ok",
 		Version:      bi.Version,
 		Revision:     bi.Revision,
+		StartTime:    buildinfo.StartTime().UTC().Format(time.RFC3339),
+		UptimeSecs:   buildinfo.Uptime().Seconds(),
 		CacheEntries: s.engine.CacheLen(),
 		QueueLength:  len(s.jobs.queue),
 	})

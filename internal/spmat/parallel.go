@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 )
 
 // ParallelCutoff is the stored-entry count below which the pool kernels
@@ -61,6 +62,7 @@ type Pool struct {
 	done      chan struct{}
 	job       *poolJob
 	closeOnce sync.Once
+	stats     poolStats
 }
 
 // NewPool starts a team of the given size. workers <= 0 selects
@@ -158,18 +160,27 @@ func (p *Pool) dispatch() {
 // balanced, each y[r] is produced by exactly one worker as the same
 // serial per-row reduction the scalar loop performs, so the result is
 // bit-identical to the serial kernel regardless of worker count.
+// Each dispatch also bumps the pool's cumulative kernel counters (see
+// Stats) — two atomic adds and a time.Since, no allocation, so the
+// accounting rides the hot path for free; a nil pool is unaccounted.
 func (p *Pool) MulVec(m *CSR, y, x []float64) {
 	if len(x) != m.cols || len(y) != m.rows {
 		panic("spmat: MulVec dimension mismatch")
 	}
-	if p.serialFor(m) {
+	if p == nil {
 		m.MulVec(y, x)
 		return
 	}
-	p.rowBounds(m)
-	j := p.job
-	j.kind, j.m, j.y, j.x = jobMulVec, m, y, x
-	p.dispatch()
+	start := time.Now()
+	if p.serialFor(m) {
+		m.MulVec(y, x)
+	} else {
+		p.rowBounds(m)
+		j := p.job
+		j.kind, j.m, j.y, j.x = jobMulVec, m, y, x
+		p.dispatch()
+	}
+	p.countKernel(true, m.NNZ(), start)
 }
 
 // VecMul computes y = x·A, the Markov power step η' = η·P. The serial
@@ -184,10 +195,17 @@ func (p *Pool) VecMul(m *CSR, y, x []float64) {
 	if len(x) != m.rows || len(y) != m.cols {
 		panic("spmat: VecMul dimension mismatch")
 	}
-	if p.serialFor(m) {
+	if p == nil {
 		m.VecMul(y, x)
 		return
 	}
+	if p.serialFor(m) {
+		start := time.Now()
+		m.VecMul(y, x)
+		p.countKernel(true, m.NNZ(), start)
+		return
+	}
+	// The delegated transpose product counts itself in MulVec.
 	p.MulVec(m.T(), y, x)
 }
 
@@ -200,12 +218,18 @@ func (p *Pool) VecMul(m *CSR, y, x []float64) {
 // ParallelCutoff invoke fn(0, 0, rows) on the calling goroutine; callers
 // combining partials must therefore zero all Workers() slots first.
 func (p *Pool) RunRows(m *CSR, fn func(part, lo, hi int)) {
-	if p.serialFor(m) {
+	if p == nil {
 		fn(0, 0, m.rows)
 		return
 	}
-	p.rowBounds(m)
-	j := p.job
-	j.kind, j.fn = jobRows, fn
-	p.dispatch()
+	start := time.Now()
+	if p.serialFor(m) {
+		fn(0, 0, m.rows)
+	} else {
+		p.rowBounds(m)
+		j := p.job
+		j.kind, j.fn = jobRows, fn
+		p.dispatch()
+	}
+	p.countKernel(false, m.NNZ(), start)
 }

@@ -1,0 +1,80 @@
+package spmat
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// PoolStats is a snapshot of a Pool's cumulative kernel counters. The
+// cost-accounting layer differences two snapshots (Sub) to attribute
+// kernel work to one solve. Counts are monotone over a pool's lifetime.
+type PoolStats struct {
+	// SpMVs counts sparse matrix–vector products (MulVec plus VecMul; a
+	// parallel VecMul's delegated transpose product counts once).
+	SpMVs int64
+	// RowSweeps counts RunRows dispatches.
+	RowSweeps int64
+	// NNZ is the total stored entries processed across those kernels.
+	NNZ int64
+	// KernelNS is wall time spent inside the kernels, dispatch included.
+	KernelNS int64
+}
+
+// Sub returns s − o component-wise.
+func (s PoolStats) Sub(o PoolStats) PoolStats {
+	return PoolStats{
+		SpMVs:     s.SpMVs - o.SpMVs,
+		RowSweeps: s.RowSweeps - o.RowSweeps,
+		NNZ:       s.NNZ - o.NNZ,
+		KernelNS:  s.KernelNS - o.KernelNS,
+	}
+}
+
+// poolStats is the Pool-embedded accumulator. Plain atomic adds with no
+// allocation and no locking: the kernels stay on their zero-alloc hot
+// path (pinned by TestPoolKernelsAllocFree) and concurrent readers (the
+// cost layer snapshotting mid-solve) see a consistent-enough view — each
+// field is individually exact, and solver stages snapshot at quiescent
+// points (before/after a solve), never mid-dispatch.
+type poolStats struct {
+	spmvs     atomic.Int64
+	rowSweeps atomic.Int64
+	nnz       atomic.Int64
+	kernelNS  atomic.Int64
+}
+
+// Stats snapshots the pool's cumulative kernel counters. A nil pool has
+// no counters: serial kernels invoked without a Pool are unaccounted,
+// which is fine — every accounted path in this repository threads a Pool.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{
+		SpMVs:     p.stats.spmvs.Load(),
+		RowSweeps: p.stats.rowSweeps.Load(),
+		NNZ:       p.stats.nnz.Load(),
+		KernelNS:  p.stats.kernelNS.Load(),
+	}
+}
+
+// MemoryBytes estimates the matrix's heap footprint: the CSR row
+// pointer, column index, and value arrays (8 bytes per element each).
+// A materialized transpose cache is not included — peeking at it would
+// race with a concurrent first T() call; callers that know a transpose
+// exists can add m.NNZ() contributions themselves.
+func (m *CSR) MemoryBytes() int64 {
+	return int64(len(m.rowPtr)+len(m.colIdx)+len(m.val)) * 8
+}
+
+// countKernel records one kernel execution. spmv distinguishes products
+// from row sweeps.
+func (p *Pool) countKernel(spmv bool, nnz int, start time.Time) {
+	if spmv {
+		p.stats.spmvs.Add(1)
+	} else {
+		p.stats.rowSweeps.Add(1)
+	}
+	p.stats.nnz.Add(int64(nnz))
+	p.stats.kernelNS.Add(time.Since(start).Nanoseconds())
+}
