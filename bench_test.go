@@ -8,16 +8,19 @@ package cdrstoch
 // representative results.
 
 import (
+	"context"
 	"testing"
 
 	"cdrstoch/internal/bitsim"
 	"cdrstoch/internal/core"
+	"cdrstoch/internal/dist"
 	"cdrstoch/internal/experiments"
 	"cdrstoch/internal/lump"
 	"cdrstoch/internal/markov"
 	"cdrstoch/internal/multigrid"
 	"cdrstoch/internal/passage"
 	"cdrstoch/internal/spmat"
+	"cdrstoch/internal/sweep"
 )
 
 // buildOrFatal builds a model for benchmarking.
@@ -70,6 +73,91 @@ func BenchmarkFig4HighNoise(b *testing.B) { benchPanel(b, experiments.Fig4Spec(t
 func BenchmarkFig5Counter2(b *testing.B)  { benchPanel(b, experiments.Fig5Spec(2)) }
 func BenchmarkFig5Counter8(b *testing.B)  { benchPanel(b, experiments.Fig5Spec(8)) }
 func BenchmarkFig5Counter32(b *testing.B) { benchPanel(b, experiments.Fig5Spec(32)) }
+
+// sweepFig5Sigmas is a smooth eye-jitter family around the Figure 5
+// operating point: pattern-identical TPMs whose solutions drift slowly,
+// the regime every published sweep in the paper runs in (a bathtub or
+// jitter-tolerance curve samples an axis like this at comparable
+// density).
+func sweepFig5Sigmas() []float64 {
+	sigmas := make([]float64, 20)
+	for i := range sigmas {
+		sigmas[i] = 0.080 + 0.001*float64(i)
+	}
+	return sigmas
+}
+
+// BenchmarkSweepFig5 measures sweep throughput: one op is the full
+// 20-point noise sweep of the Figure 5 counter-8 model. "pointwise" is the
+// historical path — every point rebuilds the lumping plans, transposes,
+// and multigrid hierarchy and solves cold with W-cycles. "batch" runs the
+// same points through one sweep.Session: symbolic setup built once and
+// value-refreshed, each point's solve seeded from its neighbor and run
+// with cheap V-cycles. Both converge to the same 1e-12 tolerance, and the
+// batch run cross-checks its BERs against the pointwise reference; the
+// ns/op ratio is the sweep speedup, the cycles metrics show where it
+// comes from.
+func BenchmarkSweepFig5(b *testing.B) {
+	base := experiments.Fig5Spec(8)
+	sigmas := sweepFig5Sigmas()
+	specAt := func(sig float64) core.Spec {
+		s := base
+		s.EyeJitter = dist.NewGaussian(0, sig)
+		return s
+	}
+	// refBER carries the pointwise BERs into the batch sub-benchmark's
+	// accuracy check (sub-benchmarks run in declaration order; under a
+	// -bench filter selecting only "batch" the check is skipped).
+	var refBER []float64
+	b.Run("pointwise", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var cycles int64
+			bers := make([]float64, 0, len(sigmas))
+			for _, sig := range sigmas {
+				m := buildOrFatal(b, specAt(sig))
+				a, err := m.Solve(core.SolveOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !a.Multigrid.Converged {
+					b.Fatalf("stdnw %g unconverged: %v", sig, a.Multigrid)
+				}
+				cycles += int64(a.Multigrid.Cycles)
+				bers = append(bers, a.BER)
+			}
+			refBER = bers
+			b.ReportMetric(float64(cycles), "cycles")
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess := sweep.New(sweep.Options{})
+			bers := make([]float64, 0, len(sigmas))
+			for _, sig := range sigmas {
+				pt, err := sess.Solve(context.Background(), specAt(sig))
+				if err != nil {
+					b.Fatalf("stdnw %g: %v", sig, err)
+				}
+				bers = append(bers, pt.Analysis.BER)
+			}
+			st := sess.Stats()
+			b.ReportMetric(float64(st.Cycles), "cycles")
+			b.ReportMetric(float64(st.WarmStarted), "warm")
+			if refBER != nil {
+				for j := range refBER {
+					d := refBER[j] - bers[j]
+					if d < 0 {
+						d = -d
+					}
+					if d > 1e-9*(refBER[j]+1e-300) {
+						b.Fatalf("stdnw %g: batch BER %g vs pointwise %g",
+							sigmas[j], bers[j], refBER[j])
+					}
+				}
+			}
+		}
+	})
+}
 
 // BenchmarkSolverComparison is experiment T1 (§Numerical Methods): the
 // classical iterations against the multilevel solver on the refined-grid

@@ -57,11 +57,20 @@ go test -count=1 -run 'TestServerMetricsSurviveLint|TestLintMetrics' \
 go test -count=1 -run 'TestRuntimeCollectorPoll' ./internal/obs/cost
 
 echo "== cost accounting allocs (zero-alloc kernel hot path, -race) =="
-go test -race -count=1 -run 'TestPoolKernelsAllocFree' ./internal/spmat
+go test -race -count=1 \
+    -run 'TestPoolKernelsAllocFree|TestPoolMulVecsAllocFree|TestPoolMulVecsBitIdentical' \
+    ./internal/spmat
 
 echo "== bench smoke (1 iteration per benchmark) =="
 go test -run '^$' -bench 'BenchmarkStationary|BenchmarkFig3MatrixForm' \
     -benchtime 1x -benchmem .
+
+echo "== sweep throughput (batched vs pointwise, 1 iteration) =="
+# One full 12-point Figure 5 noise sweep per mode. The batch sub-benchmark
+# cross-checks its BERs against the pointwise reference and fails the run
+# on drift, so this stage gates accuracy; the committed BENCH_*.json
+# snapshots (diffed below) gate the throughput ratio over time.
+go test -run '^$' -bench '^BenchmarkSweepFig5$' -benchtime 1x -benchmem .
 
 echo "== cdrserved smoke (build, serve, cache-hit replay, SIGTERM drain) =="
 go test -count=1 -run '^TestServerSmoke$' -v ./cmd/cdrserved

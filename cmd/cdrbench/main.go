@@ -28,8 +28,9 @@ import (
 )
 
 // headline is the default benchmark selection: the solver-loop allocation
-// baseline, the heaviest figure panel, and the grid-refinement scaling.
-const headline = `^(BenchmarkStationary|BenchmarkFig5Counter32|BenchmarkSolverScaling)$`
+// baseline, the heaviest figure panel, the grid-refinement scaling, and
+// the batched-sweep throughput comparison.
+const headline = `^(BenchmarkStationary|BenchmarkFig5Counter32|BenchmarkSolverScaling|BenchmarkSweepFig5)$`
 
 // Result is one parsed benchmark line.
 type Result struct {

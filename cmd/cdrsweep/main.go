@@ -6,10 +6,16 @@
 //
 // Each sweep prints one aligned table to stdout. With -strict, any
 // unconverged solve turns the warning into a nonzero exit, so scripted
-// sweeps cannot silently tabulate unconverged iterates.
+// sweeps cannot silently tabulate unconverged iterates. With -batch, the
+// counter and noise sweeps run as one warm-started continuation chain
+// (shared symbolic setup, neighbor-seeded solves) instead of independent
+// point-at-a-time solves; the per-point cycle and SpMV columns — sourced
+// from each solve's cost meter — make the savings visible in the table.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +25,8 @@ import (
 	"cdrstoch/internal/dist"
 	"cdrstoch/internal/experiments"
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/cost"
+	sweepeng "cdrstoch/internal/sweep"
 )
 
 func main() {
@@ -46,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	values := fs.String("values", "", "comma-separated sweep values (defaults per sweep kind)")
 	tol := fs.Float64("tol", 1e-10, "solver tolerance (solver sweep)")
 	strict := fs.Bool("strict", false, "exit nonzero (status 3) when any solve fails to converge")
+	batch := fs.Bool("batch", false, "run counter/noise sweeps as one warm-started continuation chain")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -61,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	solveOpt.Multigrid.Workers = *app.Workers
 
 	unconverged := 0
+	runner := newPointRunner(*batch, solveOpt)
 	switch *sweep {
 	case "counter":
 		lengths := []int{1, 2, 4, 8, 16, 32}
@@ -71,7 +81,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
-		fmt.Fprintf(stdout, "%-8s %12s %14s %10s %8s\n", "counter", "BER", "MTBS(bits)", "states", "cycles")
+		fmt.Fprintf(stdout, "%-8s %12s %14s %10s %8s %10s %6s\n",
+			"counter", "BER", "MTBS(bits)", "states", "cycles", "spmvs", "warm")
 		for _, l := range lengths {
 			spec, err := specWithCounter(sf, l)
 			if err != nil {
@@ -79,20 +90,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.counter.%d", l))
 			pointDone := obsrv.Registry.Timer("sweep.point").Time()
-			p, err := experiments.RunPanel(spec, solveOpt)
+			p, rep, err := runner.solve(spec)
 			pointDone()
 			endSpan()
+			if errors.Is(err, core.ErrUnconverged) {
+				// The batch session refuses to tabulate unconverged points;
+				// degrade like the point-at-a-time path: warn and move on.
+				warnUnconverged(stderr, false, fmt.Sprintf("counter %d", l), 0)
+				unconverged++
+				continue
+			}
 			if err != nil {
 				return fail(fmt.Errorf("counter %d: %w", l, err))
 			}
-			obsrv.Registry.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
+			obsrv.Registry.Counter("multigrid.cycles").Add(rep.Cycles)
 			if warnUnconverged(stderr, p.Analysis.Multigrid.Converged, fmt.Sprintf("counter %d", l), p.Analysis.Multigrid.Residual) {
 				unconverged++
 			}
-			fmt.Fprintf(stdout, "%-8d %12.3e %14.3e %10d %8d\n",
+			fmt.Fprintf(stdout, "%-8d %12.3e %14.3e %10d %8d %10d %6s\n",
 				l, p.Analysis.BER, p.Slip.MeanTimeBetween,
-				p.Model.NumStates(), p.Analysis.Multigrid.Cycles)
+				p.Model.NumStates(), rep.Cycles, rep.Pool.SpMVs, warmMark(rep.WarmStarted))
 		}
+		runner.summarize(stdout)
 	case "noise":
 		sigmas := []float64{0.02, 0.04, 0.06, 0.08, 0.10}
 		if *values != "" {
@@ -102,7 +121,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return fail(err)
 			}
 		}
-		fmt.Fprintf(stdout, "%-8s %12s %14s %8s\n", "stdnw", "BER", "MTBS(bits)", "cycles")
+		fmt.Fprintf(stdout, "%-8s %12s %14s %8s %10s %6s\n",
+			"stdnw", "BER", "MTBS(bits)", "cycles", "spmvs", "warm")
 		for _, sig := range sigmas {
 			spec, err := sf.Spec()
 			if err != nil {
@@ -111,19 +131,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			spec.EyeJitter = dist.NewGaussian(0, sig)
 			endSpan := obs.StartSpan(obsrv.Tracer, fmt.Sprintf("sweep.noise.%g", sig))
 			pointDone := obsrv.Registry.Timer("sweep.point").Time()
-			p, err := experiments.RunPanel(spec, solveOpt)
+			p, rep, err := runner.solve(spec)
 			pointDone()
 			endSpan()
+			if errors.Is(err, core.ErrUnconverged) {
+				warnUnconverged(stderr, false, fmt.Sprintf("stdnw %g", sig), 0)
+				unconverged++
+				continue
+			}
 			if err != nil {
 				return fail(fmt.Errorf("stdnw %g: %w", sig, err))
 			}
-			obsrv.Registry.Counter("multigrid.cycles").Add(int64(p.Analysis.Multigrid.Cycles))
+			obsrv.Registry.Counter("multigrid.cycles").Add(rep.Cycles)
 			if warnUnconverged(stderr, p.Analysis.Multigrid.Converged, fmt.Sprintf("stdnw %g", sig), p.Analysis.Multigrid.Residual) {
 				unconverged++
 			}
-			fmt.Fprintf(stdout, "%-8.3f %12.3e %14.3e %8d\n",
-				sig, p.Analysis.BER, p.Slip.MeanTimeBetween, p.Analysis.Multigrid.Cycles)
+			fmt.Fprintf(stdout, "%-8.3f %12.3e %14.3e %8d %10d %6s\n",
+				sig, p.Analysis.BER, p.Slip.MeanTimeBetween, rep.Cycles, rep.Pool.SpMVs, warmMark(rep.WarmStarted))
 		}
+		runner.summarize(stdout)
 	case "solver":
 		refines := []int{1, 2, 4}
 		if *values != "" {
@@ -197,6 +223,66 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return code
 	}
 	return 0
+}
+
+// pointRunner solves sweep points either point-at-a-time (fresh build and
+// cold W-cycles per point, the historical path) or through one
+// warm-started sweep.Session (-batch). Every point runs under its own
+// cost.Meter, so the table's cycles/spmvs/warm columns come from the same
+// accounting the server reports in X-Solve-Cost-* headers.
+type pointRunner struct {
+	batch bool
+	sess  *sweepeng.Session
+	opt   core.SolveOptions
+}
+
+func newPointRunner(batch bool, opt core.SolveOptions) *pointRunner {
+	r := &pointRunner{batch: batch, opt: opt}
+	if batch {
+		r.sess = sweepeng.New(sweepeng.Options{Solve: opt})
+	}
+	return r
+}
+
+// solve runs one point and returns the panel together with the point's
+// cost report (cycle count, kernel counts, warm-start flag).
+func (r *pointRunner) solve(spec core.Spec) (*experiments.Panel, cost.SolveReport, error) {
+	meter := cost.NewMeter()
+	ctx := cost.ContextWith(context.Background(), meter)
+	if r.batch {
+		pt, err := r.sess.Solve(ctx, spec)
+		if err != nil {
+			return nil, meter.Finish(), err
+		}
+		slip, err := pt.Model.SlipStats(pt.Analysis.Pi)
+		if err != nil {
+			return nil, meter.Finish(), err
+		}
+		return &experiments.Panel{Model: pt.Model, Analysis: pt.Analysis, Slip: slip}, meter.Finish(), nil
+	}
+	opt := r.opt
+	opt.Multigrid.Ctx = ctx
+	p, err := experiments.RunPanel(spec, opt)
+	return p, meter.Finish(), err
+}
+
+// summarize prints the session's continuation counters after a batch
+// sweep; point-at-a-time runs have no chain to summarize.
+func (r *pointRunner) summarize(w io.Writer) {
+	if !r.batch {
+		return
+	}
+	st := r.sess.Stats()
+	fmt.Fprintf(w, "batch: %d points, %d setup reuses, %d warm starts, %d fallbacks, %d total cycles\n",
+		st.Points, st.ReusedSetup, st.WarmStarted, st.Fallbacks, st.Cycles)
+}
+
+// warmMark renders the warm-start table cell.
+func warmMark(warm bool) string {
+	if warm {
+		return "yes"
+	}
+	return "-"
 }
 
 // warnUnconverged reports an unconverged iterative solve on stderr rather

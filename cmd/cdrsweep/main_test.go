@@ -34,6 +34,43 @@ func TestRunNoiseSweepConvergedExitsZero(t *testing.T) {
 	}
 }
 
+// TestRunNoiseSweepBatch drives the warm-started continuation chain
+// through the CLI: later points of a smooth noise family must show the
+// warm column, and the session summary line must account for them.
+func TestRunNoiseSweepBatch(t *testing.T) {
+	args := append([]string{"-sweep", "noise", "-batch", "-values", "0.05,0.052,0.054"}, smallSpecArgs...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "warm") {
+		t.Errorf("missing warm column:\n%s", out)
+	}
+	if !strings.Contains(out, "yes") {
+		t.Errorf("no warm-started point in a smooth family:\n%s", out)
+	}
+	if !strings.Contains(out, "2 warm starts") || !strings.Contains(out, "2 setup reuses") {
+		t.Errorf("missing batch summary:\n%s", out)
+	}
+	if strings.Contains(stderr.String(), "did not converge") {
+		t.Errorf("unexpected convergence warning:\n%s", stderr.String())
+	}
+}
+
+// TestRunCounterSweepBatch checks batch counter sweeps survive pattern
+// changes between points (every counter length rebuilds the hierarchy).
+func TestRunCounterSweepBatch(t *testing.T) {
+	args := append([]string{"-sweep", "counter", "-batch", "-values", "2,3"}, smallSpecArgs...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "counter") || !strings.Contains(stdout.String(), "batch:") {
+		t.Errorf("output:\n%s", stdout.String())
+	}
+}
+
 func TestRunRejectsUnknownSweep(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-sweep", "bogus"}, &stdout, &stderr); code != 1 {

@@ -86,6 +86,12 @@ type Config struct {
 	// boundary alongside the Ctx check. Nil (the default) disables
 	// injection at the cost of one branch per cycle.
 	Faults *faults.Injector
+	// Refreshable prepares the solver for in-place value refreshes of the
+	// finest matrix (RefreshFine): level 0 keeps a solver-owned transpose
+	// with a refresh permutation instead of sharing the matrix's lazily
+	// cached one, and the per-cycle residual gathers over that owned
+	// transpose. A one-shot solver leaves this false and shares the cache.
+	Refreshable bool
 }
 
 func (c Config) withDefaults() Config {
@@ -174,10 +180,18 @@ type Solver struct {
 	pool     *spmat.Pool
 	curCycle int // cycle number stamped on level-visit trace events
 
+	// rawTrace is the caller's tracer before trace-identity stamping, kept
+	// so SetSolveContext can restamp per-solve contexts on a reused solver.
+	rawTrace obs.Tracer
+
 	// Per-level work attribution, preallocated in New and reset per
 	// Solve so the cycles stay allocation-free.
 	levelVisits []int
 	levelWorkNS []int64
+
+	// resBufs holds the product buffers of Residuals, grown on demand and
+	// reused across calls.
+	resBufs [][]float64
 }
 
 // New validates the partition chain against the matrix and returns a
@@ -207,8 +221,9 @@ func New(p *spmat.CSR, parts []*lump.Partition, cfg Config) (*Solver, error) {
 		}
 		size = part.NumBlocks()
 	}
+	rawTrace := cfg.Trace
 	cfg = cfg.withDefaults()
-	s := &Solver{p: p, parts: parts, cfg: cfg, pool: cfg.Pool}
+	s := &Solver{p: p, parts: parts, cfg: cfg, pool: cfg.Pool, rawTrace: rawTrace}
 	if s.pool == nil {
 		s.pool = spmat.NewPool(cfg.Workers)
 	}
@@ -216,7 +231,7 @@ func New(p *spmat.CSR, parts []*lump.Partition, cfg Config) (*Solver, error) {
 	s.levels = make([]*mgLevel, len(parts)+1)
 	for k := range s.levels {
 		lv := &mgLevel{p: cur}
-		if k == 0 {
+		if k == 0 && !cfg.Refreshable {
 			// The finest matrix's values never change; share the chain-owned
 			// cached transpose.
 			lv.pt = cur.T()
@@ -450,7 +465,10 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		s.pool.VecMul(s.p, y, x)
+		// Gather over the level-0 transpose: in the default mode that is the
+		// matrix's shared cache (same object VecMul would use), in
+		// refreshable mode the solver-owned, value-current copy.
+		s.pool.VecMulT(s.p, s.levels[0].pt, y, x)
 		r := 0.0
 		for i := range x {
 			r += math.Abs(y[i] - x[i])
@@ -468,6 +486,69 @@ func (s *Solver) Solve(x0 []float64) (Result, error) {
 	res.Pi = x
 	res.LevelStats = s.levelStats()
 	return res, nil
+}
+
+// RefreshFine rewrites the finest level's values in place from src, which
+// must have the identical sparsity pattern (the sweep engine checks with
+// spmat.SamePattern before calling; this only validates dimensions). The
+// level-0 transpose is refreshed through its permutation; coarse levels
+// need nothing — their values are recomputed from the fine iterate every
+// cycle anyway. Requires Config.Refreshable.
+func (s *Solver) RefreshFine(src *spmat.CSR) error {
+	if !s.cfg.Refreshable {
+		return errors.New("multigrid: RefreshFine on a non-refreshable solver")
+	}
+	dst := s.p.RawValues()
+	vals := src.RawValues()
+	if len(vals) != len(dst) {
+		return fmt.Errorf("multigrid: RefreshFine value count %d, want %d", len(vals), len(dst))
+	}
+	copy(dst, vals)
+	lv := s.levels[0]
+	s.p.RefreshTranspose(lv.pt, lv.perm)
+	return nil
+}
+
+// SetCycle switches the recursion pattern for subsequent Solve calls. The
+// hierarchy is cycle-kind independent, so flipping between the robust
+// W-cycle (cold starts) and the cheaper V-cycle (warm-started continuation
+// points) on a reused solver is safe at any quiescent point.
+func (s *Solver) SetCycle(k CycleKind) { s.cfg.Cycle = k }
+
+// SetSolveContext rebinds the context consulted at every cycle boundary —
+// cancellation, cost metering, fault injection — and restamps the trace
+// identity, so one long-lived solver can serve a sequence of per-request
+// solves. Call between Solves, never during one.
+func (s *Solver) SetSolveContext(ctx context.Context) {
+	s.cfg.Ctx = ctx
+	s.cfg.Trace = obs.StampFromContext(ctx, s.rawTrace)
+}
+
+// Residuals evaluates ‖xP − x‖₁ for several candidate vectors in one
+// blocked traversal of the fine matrix (Pool.MulVecs over the level-0
+// transpose) — the sweep engine's seed selection: score the previous
+// point's solution, an extrapolation, and the uniform vector together,
+// then warm-start from the best. Candidates must be normalized
+// distributions of the fine dimension.
+func (s *Solver) Residuals(xs [][]float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	n := dimOf(s.p)
+	for len(s.resBufs) < len(xs) {
+		s.resBufs = append(s.resBufs, make([]float64, n))
+	}
+	ys := s.resBufs[:len(xs)]
+	s.pool.MulVecs(s.levels[0].pt, ys, xs)
+	out := make([]float64, len(xs))
+	for b := range xs {
+		r := 0.0
+		for i := range xs[b] {
+			r += math.Abs(ys[b][i] - xs[b][i])
+		}
+		out[b] = r
+	}
+	return out
 }
 
 // BuildPairHierarchy constructs the partition chain for a state space laid

@@ -102,6 +102,12 @@ type SolveReport struct {
 	// Cached is true on reports replayed for a cache hit (the solve that
 	// produced the body happened earlier); fresh solve reports are false.
 	Cached bool `json:"cached,omitempty"`
+	// WarmStarted is true when the solve's initial iterate was a
+	// neighboring sweep point's solution (or an extrapolation of two)
+	// rather than the uniform vector — the continuation path of the sweep
+	// engine. Consumers attributing latency differences across otherwise
+	// identical specs should check this first.
+	WarmStarted bool `json:"warm_started,omitempty"`
 	// Retries counts async-job re-runs (filled by the job layer).
 	Retries int `json:"retries,omitempty"`
 	// Err is the failure, when the solve did not finish cleanly.
@@ -132,6 +138,7 @@ type Meter struct {
 	sweeps   atomic.Int64
 	restarts atomic.Int64
 	wsBytes  atomic.Int64
+	warm     atomic.Bool
 
 	mu       sync.Mutex
 	finalRes float64
@@ -195,6 +202,15 @@ func (m *Meter) AddWorkspaceBytes(n int64) {
 		return
 	}
 	m.wsBytes.Add(n)
+}
+
+// MarkWarmStarted flags the solve as warm-started (non-uniform initial
+// iterate from a neighboring sweep point).
+func (m *Meter) MarkWarmStarted() {
+	if m == nil {
+		return
+	}
+	m.warm.Store(true)
 }
 
 // AddResidual records one convergence measurement: it becomes the
@@ -267,6 +283,7 @@ func (m *Meter) Finish() SolveReport {
 		Cycles:         m.cycles.Load(),
 		Sweeps:         m.sweeps.Load(),
 		Restarts:       m.restarts.Load(),
+		WarmStarted:    m.warm.Load(),
 		Pool:           m.pool,
 		Levels:         m.levels,
 	}

@@ -20,6 +20,7 @@ import (
 	"cdrstoch/internal/passage"
 	"cdrstoch/internal/serve/speckey"
 	"cdrstoch/internal/spmat"
+	"cdrstoch/internal/sweep"
 )
 
 // ErrBadRequest marks client errors (invalid specs, unknown sweep
@@ -349,6 +350,27 @@ func slipBody(m *core.Model, a *core.Analysis) (SlipBody, error) {
 	return out, nil
 }
 
+// analyzeBodyJSON assembles the AnalyzeBody bytes of one solved spec.
+// Both /v1/analyze and the batch sweep go through this one marshaller, so
+// a batch point's cache entry is byte-compatible with what a later
+// /v1/analyze of the identical spec would have produced (and vice versa).
+func analyzeBodyJSON(h string, m *core.Model, a *core.Analysis, start time.Time) ([]byte, error) {
+	slip, err := slipBody(m, a)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(AnalyzeBody{
+		SpecKey:   h,
+		States:    m.NumStates(),
+		BER:       a.BER,
+		Converged: a.Multigrid.Converged,
+		Cycles:    a.Multigrid.Cycles,
+		Residual:  a.Multigrid.Residual,
+		SolveMS:   float64(time.Since(start).Microseconds()) / 1000,
+		Slip:      slip,
+	})
+}
+
 // Analyze returns the stationary + BER body for spec, reporting whether
 // it was served from cache.
 func (e *Engine) Analyze(ctx context.Context, spec core.Spec) ([]byte, bool, error) {
@@ -365,20 +387,7 @@ func (e *Engine) Analyze(ctx context.Context, spec core.Spec) ([]byte, bool, err
 		if err != nil {
 			return nil, err
 		}
-		slip, err := slipBody(m, a)
-		if err != nil {
-			return nil, err
-		}
-		return json.Marshal(AnalyzeBody{
-			SpecKey:   h,
-			States:    m.NumStates(),
-			BER:       a.BER,
-			Converged: a.Multigrid.Converged,
-			Cycles:    a.Multigrid.Cycles,
-			Residual:  a.Multigrid.Residual,
-			SolveMS:   float64(time.Since(start).Microseconds()) / 1000,
-			Slip:      slip,
-		})
+		return analyzeBodyJSON(h, m, a, start)
 	})
 }
 
@@ -431,11 +440,21 @@ type SweepPoint struct {
 	Cached bool            `json:"cached"`
 	Result json.RawMessage `json:"result,omitempty"`
 	Error  string          `json:"error,omitempty"`
+	// Batch-mode provenance: whether the point's solve started from a
+	// neighbor's solution, whether it reused the previous point's symbolic
+	// setup, and the multigrid cycles it took. Absent on fan-out sweeps,
+	// cache hits, and flights shared with a concurrent request.
+	WarmStarted bool `json:"warm_started,omitempty"`
+	ReusedSetup bool `json:"reused_setup,omitempty"`
+	Cycles      int  `json:"cycles,omitempty"`
 }
 
 // SweepBody is the response body of /v1/sweep.
 type SweepBody struct {
-	Param  string       `json:"param"`
+	Param string `json:"param"`
+	// Batch is true when the sweep ran as a warm-started continuation
+	// chain (request field "batch") instead of the parallel fan-out.
+	Batch  bool         `json:"batch,omitempty"`
 	Points []SweepPoint `json:"points"`
 }
 
@@ -518,6 +537,131 @@ func (e *Engine) Sweep(ctx context.Context, base core.Spec, param string, values
 		return nil, fmt.Errorf("serve: sweep stopped: %w", err)
 	}
 	return json.Marshal(SweepBody{Param: param, Points: points})
+}
+
+// sessionSolve runs one batch sweep point through the shared Session
+// under a solve slot, with the same metrics, fault point, pprof labels,
+// and trace spans as the point-at-a-time path. The slot is held only for
+// the point's own solve — never while waiting on another request's
+// flight — so a batch cannot deadlock a MaxConcurrent=1 engine.
+func (e *Engine) sessionSolve(ctx context.Context, sess *sweep.Session, spec core.Spec, key string) (*sweep.Point, error) {
+	if err := e.acquire(ctx); err != nil {
+		return nil, err
+	}
+	defer e.release()
+	if err := e.cfg.Faults.FireCtx(ctx, "engine.solve"); err != nil {
+		return nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), err)
+	}
+	defer e.reg.Timer("serve.solve").Time()()
+	e.reg.Counter("serve.solves").Inc()
+	tr := obs.StampFromContext(ctx, e.cfg.Tracer)
+	var pt *sweep.Point
+	var err error
+	solveStart := time.Now()
+	endSolve := obs.StartSpan(tr, "serve.sweep_point")
+	pprof.Do(ctx, pprof.Labels("endpoint", "sweep", "spec", shortKey(key), "stage", "solve"), func(ctx context.Context) {
+		pt, err = sess.Solve(ctx, spec)
+	})
+	endSolve()
+	e.reg.Histogram("serve.solve_ms").Observe(ms(time.Since(solveStart)))
+	if err != nil {
+		if errors.Is(err, core.ErrUnconverged) {
+			e.reg.Counter("serve.unconverged").Inc()
+		}
+		return nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), err)
+	}
+	e.reg.Counter("serve.solver_cycles").Add(int64(pt.Analysis.Multigrid.Cycles))
+	e.reg.Histogram("serve.solve_cycles").Observe(float64(pt.Analysis.Multigrid.Cycles))
+	return pt, nil
+}
+
+// SweepBatch solves a parameter family as one warm-started continuation
+// chain: points run sequentially through a sweep.Session that reuses the
+// symbolic setup across pattern-identical neighbors and seeds each solve
+// from the previous solution. Each point still gets its own cache entry
+// under the same key /v1/analyze uses — hits skip the solve (and break
+// the seed chain harmlessly; seed quality is measured, not assumed) — and
+// each miss runs under singleflight, so a batch and concurrent analyze
+// requests for the same spec share one solve. Point failures are
+// reported in place, like Sweep.
+func (e *Engine) SweepBatch(ctx context.Context, base core.Spec, param string, values []float64) ([]byte, error) {
+	if len(values) == 0 {
+		return nil, badRequestf("sweep needs at least one value")
+	}
+	if len(values) > maxSweepValues {
+		return nil, badRequestf("sweep of %d values exceeds the limit of %d", len(values), maxSweepValues)
+	}
+	if _, err := applySweepParam(base, param, values[0]); err != nil {
+		return nil, err
+	}
+	team := e.teams.Get().(*spmat.Pool)
+	defer e.teams.Put(team)
+	mg := e.cfg.Multigrid
+	mg.Trace = e.cfg.Tracer
+	mg.Pool = team
+	mg.Faults = e.cfg.Faults
+	sess := sweep.New(sweep.Options{Solve: core.SolveOptions{Multigrid: mg}})
+	points := make([]SweepPoint, len(values))
+	for i, v := range values {
+		points[i] = SweepPoint{Value: v}
+		err := shield(func() error {
+			spec, err := applySweepParam(base, param, v)
+			if err == nil {
+				err = spec.Validate()
+			}
+			if err != nil {
+				return err
+			}
+			h, err := speckey.Hash(spec)
+			if err != nil {
+				return badRequestf("unhashable spec: %v", err)
+			}
+			var pt *sweep.Point
+			body, cached, err := e.cached(ctx, "analyze:"+h, func(ctx context.Context) ([]byte, error) {
+				start := time.Now()
+				meter := cost.NewMeter()
+				ctx = cost.ContextWith(ctx, meter)
+				p, err := e.sessionSolve(ctx, sess, spec, h)
+				defer func() {
+					var m *core.Model
+					if p != nil {
+						m = p.Model
+					}
+					e.recordCost(ctx, meter, "sweep", h, m, err)
+				}()
+				if err != nil {
+					return nil, err
+				}
+				pt = p
+				return analyzeBodyJSON(h, p.Model, p.Analysis, start)
+			})
+			if err != nil {
+				return err
+			}
+			points[i].Cached = cached
+			points[i].Result = body
+			if pt != nil {
+				points[i].WarmStarted = pt.WarmStarted
+				points[i].ReusedSetup = pt.ReusedSetup
+				points[i].Cycles = pt.Analysis.Multigrid.Cycles
+			}
+			return nil
+		})
+		if err != nil {
+			points[i].Error = err.Error()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("serve: sweep stopped: %w", err)
+	}
+	st := sess.Stats()
+	e.reg.Counter("serve.sweep_batch_points").Add(int64(st.Points))
+	e.reg.Counter("serve.sweep_warm_starts").Add(int64(st.WarmStarted))
+	e.reg.Counter("serve.sweep_setup_reuses").Add(int64(st.ReusedSetup))
+	return json.Marshal(SweepBody{Param: param, Batch: true, Points: points})
 }
 
 // CacheLen reports the number of cached bodies (for tests and /healthz).

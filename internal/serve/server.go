@@ -432,6 +432,19 @@ func (s *Server) setCostHeaders(w http.ResponseWriter, r *http.Request, cached b
 	h.Set("X-Solve-Cost-Cycles", strconv.FormatInt(rep.Cycles, 10))
 	h.Set("X-Solve-Cost-Spmvs", strconv.FormatInt(rep.Pool.SpMVs, 10))
 	h.Set("X-Solve-Cost-States", strconv.Itoa(rep.States))
+	if rep.WarmStarted {
+		h.Set("X-Solve-Cost-Warmstart", "1")
+	}
+}
+
+// setWarmstartHeader stamps X-Solve-Cost-Warmstart: 1 when the request's
+// most recent solve report was warm-started — on a batch sweep, that is
+// the last point actually solved under this trace.
+func (s *Server) setWarmstartHeader(w http.ResponseWriter, r *http.Request) {
+	trace, _ := obs.TraceFromContext(r.Context())
+	if rep, ok := s.costs.LatestByTrace(trace); ok && rep.WarmStarted {
+		w.Header().Set("X-Solve-Cost-Warmstart", "1")
+	}
 }
 
 // sweepRequest is the envelope of /v1/sweep.
@@ -440,6 +453,12 @@ type sweepRequest struct {
 	Param  string    `json:"param"`
 	Values []float64 `json:"values"`
 	Async  bool      `json:"async"`
+	// Batch runs the sweep as a warm-started continuation chain (shared
+	// symbolic setup, neighbor-seeded solves) instead of fanning the
+	// points out as independent solves. Same per-point cache entries and
+	// result bodies; the response additionally carries per-point
+	// warm_started / reused_setup / cycles fields.
+	Batch bool `json:"batch"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -455,9 +474,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, badRequestf("invalid spec: %v", err))
 		return
 	}
+	run := s.engine.Sweep
+	if req.Batch {
+		run = s.engine.SweepBatch
+	}
 	if req.Async {
 		s.enqueue(w, r, func(ctx context.Context) ([]byte, bool, error) {
-			body, err := s.engine.Sweep(ctx, req.Spec, req.Param, req.Values)
+			body, err := run(ctx, req.Spec, req.Param, req.Values)
 			return body, false, err
 		})
 		return
@@ -469,11 +492,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-	body, err := s.engine.Sweep(ctx, req.Spec, req.Param, req.Values)
+	body, err := run(ctx, req.Spec, req.Param, req.Values)
 	if err != nil {
 		s.writeError(w, r, err)
 		return
 	}
+	s.setWarmstartHeader(w, r)
 	s.writeBody(w, body, false)
 }
 

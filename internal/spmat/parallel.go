@@ -19,6 +19,7 @@ var ParallelCutoff = 1 << 14
 const (
 	jobNone = iota
 	jobMulVec
+	jobMulVecs
 	jobRows
 )
 
@@ -29,6 +30,7 @@ type poolJob struct {
 	kind   int
 	m      *CSR
 	y, x   []float64
+	ys, xs [][]float64
 	fn     func(part, lo, hi int)
 	bounds []int // row partition, len workers+1
 }
@@ -39,6 +41,8 @@ func (j *poolJob) run(id int) {
 	switch j.kind {
 	case jobMulVec:
 		j.m.mulVecRange(j.y, j.x, lo, hi)
+	case jobMulVecs:
+		j.m.mulVecsRange(j.ys, j.xs, lo, hi)
 	case jobRows:
 		j.fn(id, lo, hi)
 	}
@@ -154,6 +158,7 @@ func (p *Pool) dispatch() {
 	}
 	j := p.job
 	j.kind, j.m, j.y, j.x, j.fn = jobNone, nil, nil, nil, nil
+	j.ys, j.xs = nil, nil
 }
 
 // MulVec computes y = A·x over the team: rows are partitioned nnz-
@@ -181,6 +186,91 @@ func (p *Pool) MulVec(m *CSR, y, x []float64) {
 		p.dispatch()
 	}
 	p.countKernel(true, m.NNZ(), start)
+}
+
+// MulVecs computes ys[b] = A·xs[b] for k column-packed right-hand sides
+// in one blocked traversal of the matrix: rows are partitioned with the
+// same nnz-balanced bounds as MulVec, and each worker streams its rows'
+// stored entries once, advancing all k vectors per entry load. Every
+// ys[b][r] is the same serial per-row reduction MulVec performs, so the
+// result is bit-identical to k serial MulVec calls regardless of worker
+// count or blocking, and race-clean: workers write disjoint row ranges of
+// every output vector. Counts k SpMVs over k·nnz entries in Stats.
+// ys[b] must not alias xs[c] for any b, c.
+func (p *Pool) MulVecs(m *CSR, ys, xs [][]float64) {
+	if len(ys) != len(xs) {
+		panic("spmat: MulVecs vector count mismatch")
+	}
+	k := len(xs)
+	if k == 0 {
+		return
+	}
+	for b := 0; b < k; b++ {
+		if len(xs[b]) != m.cols || len(ys[b]) != m.rows {
+			panic("spmat: MulVecs dimension mismatch")
+		}
+	}
+	if p == nil {
+		m.mulVecsRange(ys, xs, 0, m.rows)
+		return
+	}
+	start := time.Now()
+	if p.serialFor(m) {
+		m.mulVecsRange(ys, xs, 0, m.rows)
+	} else {
+		p.rowBounds(m)
+		j := p.job
+		j.kind, j.m, j.ys, j.xs = jobMulVecs, m, ys, xs
+		p.dispatch()
+	}
+	p.countKernels(true, k, k*m.NNZ(), start)
+}
+
+// VecMuls computes ys[b] = xs[b]·A for k packed left-hand sides — the
+// batched Markov power step. Like VecMul, the parallel path gathers over
+// the lazily cached transpose via MulVecs (one blocked traversal instead
+// of k), while serial pools scatter each vector with the plain kernel.
+// Either way the result is bit-identical to k VecMul calls at the same
+// worker count; as with VecMul, serial and parallel answers agree to
+// rounding, not bitwise.
+func (p *Pool) VecMuls(m *CSR, ys, xs [][]float64) {
+	if len(ys) != len(xs) {
+		panic("spmat: VecMuls vector count mismatch")
+	}
+	k := len(xs)
+	if k == 0 {
+		return
+	}
+	for b := 0; b < k; b++ {
+		if len(xs[b]) != m.rows || len(ys[b]) != m.cols {
+			panic("spmat: VecMuls dimension mismatch")
+		}
+	}
+	if p == nil || p.serialFor(m) {
+		start := time.Now()
+		for b := 0; b < k; b++ {
+			m.VecMul(ys[b], xs[b])
+		}
+		p.countKernels(true, k, k*m.NNZ(), start)
+		return
+	}
+	// The delegated transpose product counts itself in MulVecs.
+	p.MulVecs(m.T(), ys, xs)
+}
+
+// VecMulT computes y = x·A like VecMul, but the parallel gather runs over
+// the caller-supplied transpose t instead of A's lazily cached one. The
+// refreshable multigrid path needs this: after an in-place value refresh
+// of A, a previously materialized cache A.T() would be stale, so the
+// solver keeps (and refreshes) its own transpose and passes it here. With
+// t equal in value to A's transpose this is numerically identical to
+// VecMul at the same worker count.
+func (p *Pool) VecMulT(m, t *CSR, y, x []float64) {
+	if p == nil || p.serialFor(m) {
+		p.VecMul(m, y, x)
+		return
+	}
+	p.MulVec(t, y, x)
 }
 
 // VecMul computes y = x·A, the Markov power step η' = η·P. The serial

@@ -206,6 +206,65 @@ func (m *CSR) mulVecRange(y, x []float64, lo, hi int) {
 	}
 }
 
+// mulVecsBlock is the register-blocking width of the multi-vector kernel:
+// up to this many right-hand sides accumulate in one fixed-size stack
+// array while the row's stored entries stream past once.
+const mulVecsBlock = 8
+
+// mulVecsRange computes ys[b][lo:hi] = (A·xs[b])[lo:hi] for every packed
+// right-hand side b — the blocked SpMM row-range kernel. The matrix row is
+// traversed once per block of mulVecsBlock vectors: each stored entry's
+// value and column index are loaded once and applied to the whole block,
+// so k sweep iterates advance per matrix traversal instead of per SpMV.
+// For each (b, r) the accumulation visits the row's entries in exactly the
+// order mulVecRange does, so every output is bit-identical to the serial
+// single-vector kernel.
+func (m *CSR) mulVecsRange(ys, xs [][]float64, lo, hi int) {
+	for b0 := 0; b0 < len(ys); b0 += mulVecsBlock {
+		bn := len(ys) - b0
+		if bn > mulVecsBlock {
+			bn = mulVecsBlock
+		}
+		yb, xb := ys[b0:b0+bn], xs[b0:b0+bn]
+		for r := lo; r < hi; r++ {
+			var acc [mulVecsBlock]float64
+			for k := m.rowPtr[r]; k < m.rowPtr[r+1]; k++ {
+				v, c := m.val[k], m.colIdx[k]
+				for b := 0; b < bn; b++ {
+					acc[b] += v * xb[b][c]
+				}
+			}
+			for b := 0; b < bn; b++ {
+				yb[b][r] = acc[b]
+			}
+		}
+	}
+}
+
+// SamePattern reports whether a and b have identical dimensions and an
+// identical sparsity pattern (rowPtr and colIdx element-wise equal). The
+// sweep engine uses it to decide between an in-place value refresh and a
+// full symbolic rebuild when moving to a neighboring parameter point.
+func SamePattern(a, b *CSR) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.rows != b.rows || a.cols != b.cols || len(a.val) != len(b.val) {
+		return false
+	}
+	for i, p := range a.rowPtr {
+		if b.rowPtr[i] != p {
+			return false
+		}
+	}
+	for i, c := range a.colIdx {
+		if b.colIdx[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 // VecMul computes y = x·A (row vector on the left), the fundamental
 // operation of a Markov-chain power step: η' = η·P. y must have length
 // equal to the column count and may not alias x.

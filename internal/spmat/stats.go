@@ -70,10 +70,21 @@ func (m *CSR) MemoryBytes() int64 {
 // countKernel records one kernel execution. spmv distinguishes products
 // from row sweeps.
 func (p *Pool) countKernel(spmv bool, nnz int, start time.Time) {
+	p.countKernels(spmv, 1, nnz, start)
+}
+
+// countKernels records a blocked execution of n logical kernels (a
+// MulVecs over n packed vectors counts n SpMVs) touching nnz stored
+// entries in total. Tolerates a nil receiver so serial fallbacks can call
+// it unconditionally.
+func (p *Pool) countKernels(spmv bool, n, nnz int, start time.Time) {
+	if p == nil {
+		return
+	}
 	if spmv {
-		p.stats.spmvs.Add(1)
+		p.stats.spmvs.Add(int64(n))
 	} else {
-		p.stats.rowSweeps.Add(1)
+		p.stats.rowSweeps.Add(int64(n))
 	}
 	p.stats.nnz.Add(int64(nnz))
 	p.stats.kernelNS.Add(time.Since(start).Nanoseconds())
