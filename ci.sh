@@ -55,6 +55,9 @@ echo "== metrics lint (every name survives Prometheus sanitization, no collision
 go test -count=1 -run 'TestServerMetricsSurviveLint|TestLintMetrics' \
     ./internal/serve ./internal/obs
 go test -count=1 -run 'TestRuntimeCollectorPoll' ./internal/obs/cost
+# The progress/watchdog metric families (progress.*, watchdog.*) are
+# touched eagerly at tracker construction, so this lint sees them all.
+go test -count=1 -run 'TestTrackerMetricsSurviveLint' ./internal/obs/progress
 
 echo "== cost accounting allocs (zero-alloc kernel hot path, -race) =="
 go test -race -count=1 \
@@ -75,18 +78,32 @@ go test -run '^$' -bench '^BenchmarkSweepFig5$' -benchtime 1x -benchmem .
 echo "== cdrserved smoke (build, serve, cache-hit replay, SIGTERM drain) =="
 go test -count=1 -run '^TestServerSmoke$' -v ./cmd/cdrserved
 
+echo "== live progress (SSE stream + seeded stall injection, -race) =="
+# The SSE smoke proves a batched sweep job streams one parseable progress
+# event per point plus a terminal frame; the stall case injects a delay
+# fault at the multigrid.cycle seam and requires the watchdog to classify
+# the solve stalled (with the job's trace ID on the verdict) within the
+# configured window, then cancel it. Seeded like the chaos stage.
+CDR_FAULTS_SEED=1 go test -race -count=1 \
+    -run 'TestJobEventsSSE|TestWatchdogStallInjection|TestDebugProgressLiveETA' \
+    ./internal/serve
+
 echo "== bench compare (optional; needs two committed BENCH_*.json) =="
 # Diff the two newest committed benchmark snapshots. With fewer than two
 # snapshots there is nothing to compare, so the stage skips cleanly —
 # fresh clones and the first benchmarked commit must not fail CI. The
-# generous threshold (50%) absorbs machine-to-machine noise; tighten it
-# locally when hunting a specific regression.
+# generous time threshold (50%) absorbs machine-to-machine noise; tighten
+# it locally when hunting a specific regression. Allocation metrics are
+# exact counts, so they gate tighter: 25% growth in allocs/op or B/op
+# fails — that is what catches an instrumented hot loop that silently
+# started allocating.
 set -- $(ls -t BENCH_*.json 2>/dev/null || true)
 if [ "$#" -ge 2 ]; then
     new="$1"
     old="$2"
     echo "comparing $old (old) -> $new (new)"
-    go run ./cmd/cdrbench -compare -threshold 0.5 "$old" "$new"
+    go run ./cmd/cdrbench -compare -threshold 0.5 \
+        -threshold-allocs 0.25 -threshold-bytes 0.25 "$old" "$new"
 else
     echo "skipped: found $# snapshot(s), need 2"
 fi

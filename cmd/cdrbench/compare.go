@@ -21,16 +21,40 @@ type deltaRow struct {
 	// Ratio is New/Old (1.0 = unchanged; Old == 0 yields +Inf for a
 	// nonzero New, which always counts as a regression).
 	Ratio float64
-	// Regressed marks ns/op rows whose ratio exceeds the threshold; only
-	// time regressions gate the exit code — allocation metrics are
-	// reported for context but machines disagree on them less usefully.
+	// Regressed marks rows whose ratio exceeds their metric's threshold.
+	// ns/op always gates; B/op and allocs/op gate only when their
+	// thresholds are armed (they are exact, so CI can hold them tight,
+	// but default off to preserve time-only gating).
 	Regressed bool
 }
 
-// compareSnapshots diffs two benchmark snapshots. threshold is the
-// allowed fractional ns/op growth (0.25 = new may be up to 25% slower);
-// regressed reports whether any benchmark exceeded it.
-func compareSnapshots(oldSnap, newSnap Snapshot, threshold float64) (rows []deltaRow, regressed bool) {
+// thresholds is the per-metric allowed fractional growth before
+// -compare fails (0.25 = new may be up to 25% worse). NsOp must be
+// non-negative; a negative BOp or AllocsOp disables gating on that
+// metric (the row is still reported for context).
+type thresholds struct {
+	NsOp     float64
+	BOp      float64
+	AllocsOp float64
+}
+
+// forMetric resolves the threshold gating a compare metric; ok=false
+// means the metric never gates.
+func (t thresholds) forMetric(m string) (limit float64, ok bool) {
+	switch m {
+	case "ns/op":
+		return t.NsOp, t.NsOp >= 0
+	case "B/op":
+		return t.BOp, t.BOp >= 0
+	case "allocs/op":
+		return t.AllocsOp, t.AllocsOp >= 0
+	}
+	return 0, false
+}
+
+// compareSnapshots diffs two benchmark snapshots; regressed reports
+// whether any benchmark exceeded its metric's armed threshold.
+func compareSnapshots(oldSnap, newSnap Snapshot, th thresholds) (rows []deltaRow, regressed bool) {
 	oldByName := make(map[string]Result, len(oldSnap.Results))
 	for _, r := range oldSnap.Results {
 		oldByName[r.Name] = r
@@ -61,7 +85,7 @@ func compareSnapshots(oldSnap, newSnap Snapshot, threshold float64) (rows []delt
 			default:
 				row.Ratio = nv / ov
 			}
-			if m == "ns/op" && row.Ratio > 1+threshold {
+			if limit, ok := th.forMetric(m); ok && row.Ratio > 1+limit {
 				row.Regressed = true
 				regressed = true
 			}
@@ -108,12 +132,12 @@ func loadSnapshot(path string) (Snapshot, error) {
 	return s, nil
 }
 
-// runCompare implements `cdrbench -compare old.json new.json`. It returns
-// regressed=true when any benchmark's ns/op grew past the threshold; the
-// caller maps that to a nonzero exit status.
-func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regressed bool, err error) {
-	if threshold < 0 {
-		return false, fmt.Errorf("threshold must be >= 0, got %g", threshold)
+// runCompare implements `cdrbench -compare old.json new.json`. It
+// returns regressed=true when any benchmark grew past its metric's
+// armed threshold; the caller maps that to a nonzero exit status.
+func runCompare(w io.Writer, oldPath, newPath string, th thresholds) (regressed bool, err error) {
+	if th.NsOp < 0 {
+		return false, fmt.Errorf("threshold must be >= 0, got %g", th.NsOp)
 	}
 	oldSnap, err := loadSnapshot(oldPath)
 	if err != nil {
@@ -123,17 +147,17 @@ func runCompare(w io.Writer, oldPath, newPath string, threshold float64) (regres
 	if err != nil {
 		return false, err
 	}
-	rows, regressed := compareSnapshots(oldSnap, newSnap, threshold)
+	rows, regressed := compareSnapshots(oldSnap, newSnap, th)
 	writeCompare(w, oldSnap, newSnap, rows)
 	if regressed {
 		var bad []string
 		for _, r := range rows {
 			if r.Regressed {
-				bad = append(bad, r.Name)
+				bad = append(bad, fmt.Sprintf("%s (%s)", r.Name, r.Metric))
 			}
 		}
-		fmt.Fprintf(w, "cdrbench compare: FAIL: ns/op regression beyond %.0f%% in: %s\n",
-			threshold*100, strings.Join(bad, ", "))
+		fmt.Fprintf(w, "cdrbench compare: FAIL: regression beyond threshold in: %s\n",
+			strings.Join(bad, ", "))
 	} else {
 		fmt.Fprintln(w, "cdrbench compare: OK")
 	}

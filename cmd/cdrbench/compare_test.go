@@ -9,6 +9,12 @@ import (
 	"testing"
 )
 
+// timeOnly is the historical gating mode: ns/op at the given threshold,
+// allocation metrics reported but not gating.
+func timeOnly(nsOp float64) thresholds {
+	return thresholds{NsOp: nsOp, BOp: -1, AllocsOp: -1}
+}
+
 func snap(sha string, results ...Result) Snapshot {
 	return Snapshot{GitSHA: sha, GoVersion: "go1.x", GOMAXPROCS: 8, Bench: ".", Benchtime: "1x", Results: results}
 }
@@ -23,7 +29,7 @@ func TestCompareSnapshotsDetectsRegression(t *testing.T) {
 	oldS := snap("aaaa", res("BenchmarkStationary/power-8", 1000, 64, 2), res("BenchmarkOnlyOld-8", 5, 0, 0))
 	newS := snap("bbbb", res("BenchmarkStationary/power-8", 2100, 64, 2), res("BenchmarkOnlyNew-8", 7, 0, 0))
 
-	rows, regressed := compareSnapshots(oldS, newS, 0.25)
+	rows, regressed := compareSnapshots(oldS, newS, timeOnly(0.25))
 	if !regressed {
 		t.Fatal("2.1x ns/op growth not flagged at 25% threshold")
 	}
@@ -47,7 +53,7 @@ func TestCompareSnapshotsDetectsRegression(t *testing.T) {
 	}
 
 	// A generous threshold lets the same diff pass.
-	if _, regressed := compareSnapshots(oldS, newS, 1.5); regressed {
+	if _, regressed := compareSnapshots(oldS, newS, timeOnly(1.5)); regressed {
 		t.Error("2.1x growth flagged at 150% threshold")
 	}
 }
@@ -55,9 +61,40 @@ func TestCompareSnapshotsDetectsRegression(t *testing.T) {
 func TestCompareIgnoresAllocRegressions(t *testing.T) {
 	oldS := snap("aaaa", res("BenchmarkX-8", 100, 10, 1))
 	newS := snap("bbbb", res("BenchmarkX-8", 100, 1000, 50))
-	_, regressed := compareSnapshots(oldS, newS, 0.25)
+	_, regressed := compareSnapshots(oldS, newS, timeOnly(0.25))
 	if regressed {
-		t.Error("allocation growth alone must not gate the exit code")
+		t.Error("allocation growth alone must not gate the exit code with alloc thresholds disarmed")
+	}
+}
+
+func TestCompareGatesAllocRegressionsWhenArmed(t *testing.T) {
+	oldS := snap("aaaa", res("BenchmarkX-8", 100, 10, 1))
+
+	// allocs/op growth beyond its armed threshold fails even with time flat.
+	newS := snap("bbbb", res("BenchmarkX-8", 100, 10, 50))
+	rows, regressed := compareSnapshots(oldS, newS, thresholds{NsOp: 0.25, BOp: -1, AllocsOp: 0})
+	if !regressed {
+		t.Fatal("50x allocs/op growth not flagged with -threshold-allocs 0")
+	}
+	for _, r := range rows {
+		if r.Regressed && r.Metric != "allocs/op" {
+			t.Errorf("unexpected regressed row %+v", r)
+		}
+	}
+
+	// B/op gates independently, at its own threshold.
+	newS = snap("cccc", res("BenchmarkX-8", 100, 12, 1))
+	if _, regressed := compareSnapshots(oldS, newS, thresholds{NsOp: 0.25, BOp: 0.1, AllocsOp: 0}); !regressed {
+		t.Error("20% B/op growth not flagged at 10% -threshold-bytes")
+	}
+	if _, regressed := compareSnapshots(oldS, newS, thresholds{NsOp: 0.25, BOp: 0.5, AllocsOp: 0}); regressed {
+		t.Error("20% B/op growth flagged at 50% -threshold-bytes")
+	}
+
+	// Unchanged allocations pass the tightest setting: equality is not
+	// growth, so a zero threshold holds a zero-alloc loop exactly.
+	if _, regressed := compareSnapshots(oldS, oldS, thresholds{NsOp: 0.25, BOp: 0, AllocsOp: 0}); regressed {
+		t.Error("identical allocation metrics flagged at zero thresholds")
 	}
 }
 
@@ -78,7 +115,7 @@ func TestRunCompareEndToEnd(t *testing.T) {
 	newPath := write("new.json", snap("bbbb", res("BenchmarkX-8", 2000, 64, 2)))
 
 	var buf bytes.Buffer
-	regressed, err := runCompare(&buf, oldPath, newPath, 0.25)
+	regressed, err := runCompare(&buf, oldPath, newPath, timeOnly(0.25))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +131,7 @@ func TestRunCompareEndToEnd(t *testing.T) {
 
 	// Identical snapshots pass.
 	buf.Reset()
-	regressed, err = runCompare(&buf, oldPath, oldPath, 0.25)
+	regressed, err = runCompare(&buf, oldPath, oldPath, timeOnly(0.25))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,10 +142,10 @@ func TestRunCompareEndToEnd(t *testing.T) {
 		t.Errorf("output missing OK:\n%s", buf.String())
 	}
 
-	if _, err := runCompare(&buf, filepath.Join(dir, "missing.json"), newPath, 0.25); err == nil {
+	if _, err := runCompare(&buf, filepath.Join(dir, "missing.json"), newPath, timeOnly(0.25)); err == nil {
 		t.Error("missing old snapshot not reported")
 	}
-	if _, err := runCompare(&buf, oldPath, newPath, -1); err == nil {
+	if _, err := runCompare(&buf, oldPath, newPath, timeOnly(-1)); err == nil {
 		t.Error("negative threshold accepted")
 	}
 }

@@ -9,10 +9,14 @@
 //
 // With -compare it diffs two committed snapshots instead of running
 // anything, printing a per-benchmark delta table (ns/op, B/op,
-// allocs/op) and exiting 1 when any ns/op grew beyond -threshold:
+// allocs/op) and exiting 1 when any ns/op grew beyond -threshold.
+// Allocation metrics gate too once -threshold-allocs / -threshold-bytes
+// are armed — they are exact counts, so CI holds them tight (0 = any
+// growth fails); both default off:
 //
 //	go run ./cmd/cdrbench -compare BENCH_old.json BENCH_new.json
 //	go run ./cmd/cdrbench -compare -threshold 0.5 old.json new.json
+//	go run ./cmd/cdrbench -compare -threshold-allocs 0 -threshold-bytes 0.1 old.json new.json
 package main
 
 import (
@@ -64,13 +68,16 @@ func main() {
 	out := flag.String("out", "", "output path (default BENCH_<git-sha>.json in the current directory)")
 	compare := flag.Bool("compare", false, "diff two snapshot files (old.json new.json) instead of benchmarking")
 	threshold := flag.Float64("threshold", 0.25, "allowed fractional ns/op growth before -compare fails (0.25 = 25%)")
+	thresholdAllocs := flag.Float64("threshold-allocs", -1, "allowed fractional allocs/op growth before -compare fails (0 = any growth; negative disables)")
+	thresholdBytes := flag.Float64("threshold-bytes", -1, "allowed fractional B/op growth before -compare fails (0 = any growth; negative disables)")
 	flag.Parse()
 
 	if *compare {
 		if flag.NArg() != 2 {
 			fatal(fmt.Errorf("-compare needs exactly two snapshot paths, got %d", flag.NArg()))
 		}
-		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold)
+		regressed, err := runCompare(os.Stdout, flag.Arg(0), flag.Arg(1),
+			thresholds{NsOp: *threshold, BOp: *thresholdBytes, AllocsOp: *thresholdAllocs})
 		if err != nil {
 			fatal(err)
 		}

@@ -10,15 +10,20 @@
 //	POST /v1/analyze   {"spec": {...}, "async": false}
 //	POST /v1/slip      {"spec": {...}}
 //	POST /v1/sweep     {"spec": {...}, "param": "counter", "values": [1,2,4]}
-//	GET  /v1/jobs/{id}       poll an async job
-//	GET  /v1/jobs/{id}/trace solver trace events for an async job
-//	GET  /healthz            liveness + build info + cache/queue occupancy
-//	GET  /metrics            registry snapshot (JSON, or Prometheus text
-//	                         exposition under Accept: text/plain)
-//	GET  /debug/flight       flight recorder dump (recent solver events)
-//	GET  /debug/solves       per-solve cost reports (SolveReport ring);
-//	                         ?trace= ?spec= ?endpoint= ?min_ms= ?limit=,
-//	                         human table under Accept: text/plain
+//	GET  /v1/jobs/{id}        poll an async job
+//	GET  /v1/jobs/{id}/trace  solver trace events for an async job
+//	GET  /v1/jobs/{id}/events live solve progress as Server-Sent Events
+//	                          (start/iter/progress/watchdog/done)
+//	GET  /healthz             liveness + build info + cache/queue occupancy
+//	GET  /metrics             registry snapshot (JSON, or Prometheus text
+//	                          exposition under Accept: text/plain)
+//	GET  /debug/flight        flight recorder dump (recent solver events)
+//	GET  /debug/solves        per-solve cost reports (SolveReport ring);
+//	                          ?trace= ?spec= ?endpoint= ?min_ms= ?limit=,
+//	                          human table under Accept: text/plain
+//	GET  /debug/progress      in-flight solves (phase, residual, ETA,
+//	                          watchdog state), human table under
+//	                          Accept: text/plain
 //
 // On SIGINT/SIGTERM the daemon stops accepting, drains queued jobs within
 // the -drain budget, then exits 0.
@@ -56,6 +61,11 @@ func main() {
 	solvesN := fs.Int("solves", 0, "cost report ring size behind /debug/solves (0 = default)")
 	costLog := fs.String("cost-log", "", "append per-solve cost reports as JSON lines to this file")
 	runtimePoll := fs.Duration("runtime-poll", 10*time.Second, "runtime/metrics polling interval for runtime.* gauges (0 disables)")
+	stallWindow := fs.Duration("stall-window", 0, "watchdog staleness window: no events or residual improvement for this long marks a solve stalled (0 = default 10s)")
+	wdInterval := fs.Duration("watchdog-interval", 0, "watchdog check cadence (0 = default 1s)")
+	divergeChecks := fs.Int("diverge-checks", 0, "consecutive residual-growth checks before a solve is classified diverging (0 = default 3)")
+	cancelOnStall := fs.Bool("cancel-on-stall", false, "let the watchdog cancel stalled/diverging solves so job retry kicks in sooner")
+	wdRing := fs.Int("watchdog-ring", 0, "watchdog event ring size behind /debug/progress (0 = default)")
 	version := fs.Bool("version", false, "print build attribution and exit")
 	app.Parse(os.Args[1:])
 	if *version {
@@ -107,6 +117,12 @@ func main() {
 		CostLog:      costSink,
 		Faults:       inj,
 		ErrorLog:     log.New(os.Stderr, "cdrserved: ", log.LstdFlags|log.LUTC),
+
+		StallWindow:      *stallWindow,
+		WatchdogInterval: *wdInterval,
+		DivergeChecks:    *divergeChecks,
+		CancelOnStall:    *cancelOnStall,
+		WatchdogRingSize: *wdRing,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -20,7 +20,7 @@ type App struct {
 	// Spec holds the model-specification flag group; nil for commands
 	// that receive specs another way (e.g. cdrserved, over HTTP).
 	Spec *SpecFlags
-	// Obs holds the observability flag group (-trace, -metrics, -pprof).
+	// Obs holds the observability flag group (-trace, -metrics, -pprof, -progress).
 	Obs *ObsFlags
 	// Workers is the shared -workers flag: solver worker-team width
 	// (0 = all cores, 1 = serial).

@@ -7,17 +7,21 @@ import (
 	"net/http"
 	_ "net/http/pprof" // -pprof serves the standard profiling endpoints
 	"os"
+	"time"
 
 	"cdrstoch/internal/obs"
+	"cdrstoch/internal/obs/progress"
 )
 
 // ObsFlags holds the shared observability flag values every command in
 // cmd/ exposes: -trace (JSON-lines event sink), -metrics (snapshot table
-// on exit) and -pprof (live profiling server).
+// on exit), -pprof (live profiling server) and -progress (live solve
+// progress lines on stderr).
 type ObsFlags struct {
-	Trace   *string
-	Metrics *bool
-	Pprof   *string
+	Trace    *string
+	Metrics  *bool
+	Pprof    *string
+	Progress *bool
 }
 
 // BindObs registers the observability flags on the given FlagSet.
@@ -29,8 +33,14 @@ func BindObs(fs *flag.FlagSet) *ObsFlags {
 			"print the metrics snapshot table on exit"),
 		Pprof: fs.String("pprof", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060)"),
+		Progress: fs.Bool("progress", false,
+			"print live solve progress (iteration, residual, decay slope, ETA) to stderr"),
 	}
 }
+
+// progressPrintEvery throttles the -progress stderr lines: at most one
+// line per solve per this interval, plus every completion line.
+const progressPrintEvery = 500 * time.Millisecond
 
 // Obs bundles the configured observability sinks of one command run.
 // Tracer is nil when -trace is unset, so passing it straight into solver
@@ -39,6 +49,7 @@ type Obs struct {
 	Registry *obs.Registry
 	Tracer   obs.Tracer
 	file     *os.File
+	jsonl    *obs.JSONL
 	metrics  bool
 }
 
@@ -59,9 +70,16 @@ func (f *ObsFlags) Setup() (*Obs, error) {
 		o.Tracer = obs.NewJSONL(file)
 	}
 	if j, ok := o.Tracer.(*obs.JSONL); ok {
+		o.jsonl = j
 		// Sticky-sink losses surface in the exit snapshot (and /metrics
 		// when the registry is served), not only in Close's error.
 		o.Registry.GaugeFunc("obs.jsonl_dropped", func() float64 { return float64(j.Dropped()) })
+	}
+	if *f.Progress {
+		// The printer tees in front of any -trace sink: the JSONL file
+		// still gets every event while stderr gets the throttled human
+		// lines. Tol 0 selects the printer's default ETA target.
+		o.Tracer = obs.Tee(progress.NewPrinter(os.Stderr, progressPrintEvery, 0), o.Tracer)
 	}
 	if *f.Pprof != "" {
 		addr := *f.Pprof
@@ -78,8 +96,8 @@ func (f *ObsFlags) Setup() (*Obs, error) {
 // writes the snapshot table to w.
 func (o *Obs) Close(w io.Writer) error {
 	var err error
-	if j, ok := o.Tracer.(*obs.JSONL); ok {
-		err = j.Err()
+	if o.jsonl != nil {
+		err = o.jsonl.Err()
 	}
 	if o.file != nil {
 		if e := o.file.Close(); e != nil && err == nil {

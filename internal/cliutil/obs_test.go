@@ -79,6 +79,47 @@ func TestObsTraceSinkWritesJSONLines(t *testing.T) {
 	}
 }
 
+func TestObsProgressFlagEnablesTracer(t *testing.T) {
+	o, err := parseObs(t, "-progress").Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer == nil {
+		t.Fatal("-progress left the tracer nil")
+	}
+	var buf bytes.Buffer
+	if err := o.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObsProgressComposesWithTraceSink(t *testing.T) {
+	// -progress tees a stderr printer in front of the JSONL sink; the
+	// trace file must still receive every event.
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	o, err := parseObs(t, "-trace", path, "-progress").Setup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.IterEvent(o.Tracer, "power", 1, 0.5)
+	var buf bytes.Buffer
+	if err := o.Close(&buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Kind != "iter" {
+		t.Fatalf("trace sink behind -progress recorded %v", events)
+	}
+}
+
 func TestObsTraceSinkOpenFailure(t *testing.T) {
 	of := parseObs(t, "-trace", filepath.Join(t.TempDir(), "missing", "trace.jsonl"))
 	if _, err := of.Setup(); err == nil {

@@ -162,8 +162,21 @@ func (s HistogramStats) Merge(o HistogramStats) HistogramStats {
 // Quantile estimates the q-quantile (0 ≤ q ≤ 1) by geometric
 // interpolation within the containing bucket — the natural choice for
 // log-scaled buckets, exact up to the factor-of-two bucket resolution.
-// An empty distribution yields NaN; a quantile landing in the overflow
-// bucket reports the largest finite bound.
+// q outside [0, 1] clamps to the nearest end.
+//
+// Edge cases, pinned by tests:
+//   - An empty distribution yields NaN for every q (as does q = NaN):
+//     there is no value to estimate, and NaN poisons downstream
+//     arithmetic instead of smuggling in a plausible zero.
+//   - A quantile landing in the overflow bucket reports the largest
+//     finite bound (2^30): the true value is only known to be beyond
+//     it, so the estimate saturates rather than invents magnitude. A
+//     distribution that is ALL overflow therefore reports 2^30 for
+//     every q, including q = 0.
+//   - A single observation v interpolates across its containing bucket
+//     (Le/2, Le]: Le/2·2^q, i.e. the bucket's lower bound at q = 0
+//     rising geometrically to its upper bound at q = 1 — the value is
+//     recoverable only up to bucket resolution, never exactly.
 func (s HistogramStats) Quantile(q float64) float64 {
 	if s.Count == 0 || math.IsNaN(q) {
 		return math.NaN()

@@ -136,6 +136,70 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEmpty pins the no-data contract: every quantile
+// of an empty distribution is NaN — no value exists to estimate, and
+// NaN poisons downstream arithmetic instead of smuggling in a plausible
+// zero. A NaN q is equally unanswerable, even on populated data.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	var h Histogram
+	for _, q := range []float64{0, 0.5, 1, -3, 7, math.NaN()} {
+		if got := h.Stats().Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty histogram Quantile(%g) = %g, want NaN", q, got)
+		}
+	}
+	h.Observe(10)
+	if got := h.Stats().Quantile(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("Quantile(NaN) = %g on populated histogram, want NaN", got)
+	}
+}
+
+// TestHistogramQuantileAllOverflow pins the saturation contract: when
+// every observation landed beyond the largest finite bound, all that is
+// known is "bigger than 2^30", so every quantile — including q=0 —
+// reports exactly that bound rather than inventing magnitude.
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 5; i++ {
+		h.Observe(1e12)
+	}
+	s := h.Stats()
+	if s.Overflow != 5 || len(s.Buckets) != 0 {
+		t.Fatalf("overflow setup wrong: %+v", s)
+	}
+	want := HistogramUpperBound(histNumBuckets - 1) // 2^30
+	for _, q := range []float64{0, 0.01, 0.5, 1} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("all-overflow Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantileSingleObservation pins the one-sample contract:
+// the estimate interpolates geometrically across the containing bucket
+// (Le/2, Le] — its lower bound at q=0, Le/2·2^q in between, the upper
+// bound at q=1. The observed value itself is recoverable only up to
+// the factor-of-two bucket resolution.
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(100) // bucket (64, 128]
+	s := h.Stats()
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 64},
+		{0.5, 64 * math.Sqrt2},
+		{1, 128},
+		{-1, 64}, // clamps to q=0
+		{2, 128}, // clamps to q=1
+	} {
+		if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("single-sample Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+	// The bucket's span always brackets the actual observation.
+	if lo, hi := s.Quantile(0), s.Quantile(1); lo >= 100 || hi < 100 {
+		t.Errorf("bucket [%g, %g] does not bracket the observation", lo, hi)
+	}
+}
+
 func TestHistogramObserveZeroAlloc(t *testing.T) {
 	var h Histogram
 	if n := testing.AllocsPerRun(1000, func() { h.Observe(3.14) }); n != 0 {

@@ -1,0 +1,98 @@
+package progress
+
+import (
+	"math"
+	"time"
+)
+
+// estWindow is how many recent iterations feed the decay fit. Geometric
+// decay means the recent slope is the right extrapolation basis; a short
+// window also lets the ETA track multigrid's cycle-kind switches instead
+// of averaging across them.
+const estWindow = 16
+
+type estPoint struct {
+	iter float64
+	tns  int64
+	logr float64
+}
+
+// estimator fits log10(residual) against the iteration index over a
+// sliding window — the same least-squares decay-slope fit as
+// obs.DecaySlope, kept incremental and allocation-free so it can sit on
+// the per-iteration event path. The slope is in decades per iteration
+// (negative when converging); eta extrapolates it to a target tolerance
+// using the window's observed wall-clock per iteration.
+type estimator struct {
+	pts [estWindow]estPoint
+	n   int
+	pos int
+}
+
+// add records one residual observation. Non-positive residuals carry no
+// log-decay information and are skipped.
+func (e *estimator) add(iter int, tns int64, residual float64) {
+	if residual <= 0 || math.IsNaN(residual) {
+		return
+	}
+	e.pts[e.pos] = estPoint{iter: float64(iter), tns: tns, logr: math.Log10(residual)}
+	e.pos = (e.pos + 1) % estWindow
+	if e.n < estWindow {
+		e.n++
+	}
+}
+
+// at returns the i-th point of the window, oldest first.
+func (e *estimator) at(i int) estPoint {
+	if e.n < estWindow {
+		return e.pts[i]
+	}
+	return e.pts[(e.pos+i)%estWindow]
+}
+
+// slope returns the least-squares log10-residual slope in decades per
+// iteration; ok is false with fewer than two points or a degenerate fit
+// (all observations at one iteration index).
+func (e *estimator) slope() (float64, bool) {
+	if e.n < 2 {
+		return 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for i := 0; i < e.n; i++ {
+		p := e.at(i)
+		sx += p.iter
+		sy += p.logr
+		sxx += p.iter * p.iter
+		sxy += p.iter * p.logr
+	}
+	n := float64(e.n)
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, false
+	}
+	return (n*sxy - sx*sy) / den, true
+}
+
+// eta extrapolates the fitted decay to the target tolerance: remaining
+// iterations from the residual gap over the slope, wall clock from the
+// window's observed seconds per iteration. ok is false when the fit does
+// not predict convergence (no fit, non-negative slope, or no iteration
+// advance inside the window).
+func (e *estimator) eta(tol float64) (time.Duration, bool) {
+	slope, ok := e.slope()
+	if !ok || slope >= 0 || tol <= 0 {
+		return 0, false
+	}
+	last := e.at(e.n - 1)
+	first := e.at(0)
+	iterSpan := last.iter - first.iter
+	tSpan := float64(last.tns - first.tns)
+	if iterSpan <= 0 || tSpan <= 0 {
+		return 0, false
+	}
+	remaining := (last.logr - math.Log10(tol)) / -slope
+	if remaining <= 0 {
+		return 0, true
+	}
+	return time.Duration(remaining * tSpan / iterSpan), true
+}

@@ -1,0 +1,96 @@
+package progress
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cdrstoch/internal/obs"
+)
+
+// Printer is the CLI face of live progress (-progress on cdrsweep /
+// cdranalyze): an obs.Tracer that renders throttled per-solver progress
+// lines — iteration, residual, fitted decay slope, ETA — and a completion
+// line per finished solver span. It tees after any -trace sink, so both
+// can be active at once.
+type Printer struct {
+	w     io.Writer
+	every time.Duration
+	tol   float64
+
+	mu     sync.Mutex
+	states map[string]*printState
+}
+
+type printState struct {
+	est       estimator
+	iter      int
+	residual  float64
+	started   time.Time
+	lastPrint time.Time
+}
+
+// NewPrinter returns a printer writing to w at most one line per solver
+// per interval (every < 1 prints every iteration — for tests). tol <= 0
+// selects the 1e-12 default the ETA extrapolates to.
+func NewPrinter(w io.Writer, every time.Duration, tol float64) *Printer {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	return &Printer{w: w, every: every, tol: tol, states: make(map[string]*printState)}
+}
+
+// Emit renders iter events as throttled progress lines and span_end
+// events as completion lines for solvers that reported iterations.
+// Other kinds pass through silently.
+func (p *Printer) Emit(e obs.Event) {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case "iter":
+		st := p.states[e.Name]
+		if st == nil {
+			st = &printState{started: now}
+			p.states[e.Name] = st
+		}
+		st.iter = e.Iter
+		st.residual = e.Residual
+		st.est.add(e.Iter, now.UnixNano(), e.Residual)
+		if now.Sub(st.lastPrint) < p.every {
+			return
+		}
+		st.lastPrint = now
+		line := fmt.Sprintf("progress: %s iter %d residual %.3e", e.Name, e.Iter, e.Residual)
+		if slope, ok := st.est.slope(); ok {
+			line += fmt.Sprintf(" slope %+.3f/iter", slope)
+		}
+		if eta, ok := st.est.eta(p.tol); ok {
+			line += fmt.Sprintf(" eta %s", eta.Round(time.Millisecond))
+		}
+		fmt.Fprintln(p.w, line)
+	case "span_end":
+		st := p.states[e.Name]
+		if st == nil {
+			return
+		}
+		delete(p.states, e.Name)
+		fmt.Fprintf(p.w, "progress: %s done: %d iters, residual %.3e, %s\n",
+			e.Name, st.iter, st.residual, time.Duration(e.DurNS).Round(time.Millisecond))
+	case "progress":
+		if e.Total > 0 {
+			st := p.states[e.Name]
+			if st == nil {
+				st = &printState{started: now}
+				p.states[e.Name] = st
+			}
+			if now.Sub(st.lastPrint) < p.every {
+				return
+			}
+			st.lastPrint = now
+			fmt.Fprintf(p.w, "progress: %s %d/%d (%.0f%%)\n",
+				e.Name, e.Done, e.Total, 100*float64(e.Done)/float64(e.Total))
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package progress
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"cdrstoch/internal/obs"
+)
+
+func TestPrinterRendersIterAndCompletion(t *testing.T) {
+	var buf strings.Builder
+	p := NewPrinter(&buf, 0, 1e-12) // no throttle: print every event
+	p.Emit(obs.Event{Kind: "iter", Name: "multigrid", Iter: 1, Residual: 1e-2})
+	p.Emit(obs.Event{Kind: "iter", Name: "multigrid", Iter: 2, Residual: 1e-4})
+	p.Emit(obs.Event{Kind: "span_end", Name: "multigrid", DurNS: int64(120 * time.Millisecond)})
+	out := buf.String()
+	for _, want := range []string{
+		"progress: multigrid iter 1 residual 1.000e-02",
+		"progress: multigrid iter 2 residual 1.000e-04",
+		"slope",
+		"progress: multigrid done: 2 iters, residual 1.000e-04, 120ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printer output missing %q:\n%s", want, out)
+		}
+	}
+	// A span with no recorded iterations prints nothing.
+	buf.Reset()
+	p.Emit(obs.Event{Kind: "span_end", Name: "serve.build", DurNS: 5})
+	if buf.Len() != 0 {
+		t.Fatalf("span without iterations printed: %q", buf.String())
+	}
+}
+
+func TestPrinterThrottles(t *testing.T) {
+	var buf strings.Builder
+	p := NewPrinter(&buf, time.Hour, 0)
+	for i := 1; i <= 20; i++ {
+		p.Emit(obs.Event{Kind: "iter", Name: "power", Iter: i, Residual: 1e-3})
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 1 {
+		t.Fatalf("throttled printer wrote %d lines, want 1:\n%s", got, buf.String())
+	}
+}
+
+func TestPrinterMonteCarloProgress(t *testing.T) {
+	var buf strings.Builder
+	p := NewPrinter(&buf, 0, 0)
+	p.Emit(obs.Event{Kind: "progress", Name: "bitsim", Worker: 1, Done: 500, Total: 1000})
+	if !strings.Contains(buf.String(), "bitsim 500/1000 (50%)") {
+		t.Fatalf("MC progress line missing: %q", buf.String())
+	}
+}

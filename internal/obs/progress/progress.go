@@ -1,0 +1,393 @@
+// Package progress is the live view of in-flight solves: a Tracker keeps
+// one record per registered solve (phase, iteration, current residual,
+// geometric-decay ETA) fed by the existing tracer probe points — the
+// per-cycle multigrid residuals, the per-sweep stationary iterations, the
+// engine spans — with no new instrumentation in the solver loops. On top
+// of the records sits a watchdog (watchdog.go) that classifies each solve
+// as progressing, stalled, or diverging and can optionally cancel
+// hopeless ones.
+//
+// The package keeps the repository's zero-cost-when-disabled contract: a
+// nil *Tracker is a valid no-op (Begin returns a nil *Handle whose
+// methods do nothing), so code paths that do not opt in pay one nil
+// check. When enabled, a Handle's Emit is allocation-free: it updates a
+// fixed-size per-solve record under a mutex and forwards to subscribers
+// only when any exist.
+package progress
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cdrstoch/internal/obs"
+)
+
+// Solve states as classified by the watchdog.
+const (
+	StateProgressing = "progressing"
+	StateStalled     = "stalled"
+	StateDiverging   = "diverging"
+)
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Registry receives the progress.* and watchdog.* metrics. May be nil.
+	Registry *obs.Registry
+	// Out receives the watchdog's typed events in addition to the
+	// tracker's own ring — the server passes its flight recorder, so
+	// stall/divergence verdicts land in the same postmortem trail as the
+	// solver events that led to them. May be nil.
+	Out obs.Tracer
+	// Tol is the residual the ETA extrapolates to. Default 1e-12 (the
+	// multigrid default tolerance).
+	Tol float64
+	// StallWindow is the staleness horizon: a solve with no event, or no
+	// best-residual improvement, for longer than this is stalled.
+	// Default 10s.
+	StallWindow time.Duration
+	// Interval is the watchdog check period. Default 1s.
+	Interval time.Duration
+	// DivergeChecks is the number of consecutive watchdog checks with a
+	// growing residual before a solve is classified diverging. Default 3.
+	DivergeChecks int
+	// CancelOnStall arms early cancellation: the watchdog cancels solves
+	// it classifies stalled or diverging, so the job layer's retry/backoff
+	// kicks in without waiting for the request deadline. Off by default —
+	// see DESIGN.md §13 for why detection and action are separated.
+	CancelOnStall bool
+	// RingSize bounds the watchdog event ring. Default 1024.
+	RingSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tol <= 0 {
+		c.Tol = 1e-12
+	}
+	if c.StallWindow <= 0 {
+		c.StallWindow = 10 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.DivergeChecks <= 0 {
+		c.DivergeChecks = 3
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = 1024
+	}
+	return c
+}
+
+// Tracker is the per-solve live progress registry. All methods are safe
+// for concurrent use, and every method on a nil *Tracker is a no-op.
+type Tracker struct {
+	cfg  Config
+	reg  *obs.Registry
+	ring *obs.FlightRecorder
+
+	mu     sync.Mutex
+	seq    uint64
+	solves map[uint64]*solveState
+	subs   map[string]map[*Sub]struct{}
+	nsubs  atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New returns a ready Tracker. Call Start to run the watchdog and Stop
+// during shutdown.
+func New(cfg Config) *Tracker {
+	cfg = cfg.withDefaults()
+	t := &Tracker{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		ring:   obs.NewFlightRecorder(cfg.RingSize),
+		solves: make(map[uint64]*solveState),
+		subs:   make(map[string]map[*Sub]struct{}),
+		stop:   make(chan struct{}),
+	}
+	// The gauges are computed at snapshot time; the counters are touched
+	// eagerly so every metric family the tracker can emit exists from the
+	// first scrape (and is covered by the metrics-name lint).
+	t.reg.GaugeFunc("progress.solves_inflight", func() float64 { return float64(t.inflight()) })
+	t.reg.GaugeFunc("progress.solves_stalled", func() float64 { return float64(t.countState(StateStalled)) })
+	t.reg.GaugeFunc("progress.subscribers", func() float64 { return float64(t.nsubs.Load()) })
+	t.reg.GaugeFunc("watchdog.ring_dropped", func() float64 { return float64(t.ring.Dropped()) })
+	for _, name := range []string{
+		"progress.solves_started", "progress.solves_finished",
+		"progress.solves_stalled_total", "progress.events_dropped",
+		"watchdog.checks_total", "watchdog.divergences_total",
+		"watchdog.recoveries_total", "watchdog.cancels_total",
+	} {
+		t.reg.Counter(name)
+	}
+	return t
+}
+
+// Ring exposes the watchdog event ring (for /debug handlers and tests).
+func (t *Tracker) Ring() *obs.FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// solveState is one registered solve's live record. Its own mutex keeps
+// the event hot path off the tracker lock.
+type solveState struct {
+	mu       sync.Mutex
+	id       uint64
+	trace    string
+	parent   string
+	endpoint string
+	key      string
+	cancel   context.CancelFunc
+
+	startedAt   time.Time
+	lastEvent   time.Time
+	lastImprove time.Time
+	phase       string
+	iter        int
+	residual    float64
+	best        float64 // lowest residual seen; +Inf until the first one
+	est         estimator
+
+	// Watchdog bookkeeping: the residual at the previous check and how
+	// many consecutive checks it grew across.
+	state     string
+	lastCheck float64
+	haveCheck bool
+	grow      int
+	canceled  bool
+	done      bool
+}
+
+// Handle is one solve's registration: an obs.Tracer the engine tees into
+// the solve's event chain, so the events that update this record are
+// attributed by construction — no trace-matching, which would misattribute
+// concurrent solves sharing a request trace (sweep fan-out). A nil
+// *Handle is a valid no-op.
+type Handle struct {
+	t *Tracker
+	s *solveState
+}
+
+// Begin registers a solve and returns its handle. endpoint and key label
+// the record; cancel (may be nil) is what the watchdog calls when
+// CancelOnStall is armed. The trace identity is read from ctx.
+func (t *Tracker) Begin(ctx context.Context, endpoint, key string, cancel context.CancelFunc) *Handle {
+	if t == nil {
+		return nil
+	}
+	trace, parent := obs.TraceFromContext(ctx)
+	now := time.Now()
+	s := &solveState{
+		trace:       trace,
+		parent:      parent,
+		endpoint:    endpoint,
+		key:         key,
+		cancel:      cancel,
+		startedAt:   now,
+		lastEvent:   now,
+		lastImprove: now,
+		best:        math.Inf(1),
+		state:       StateProgressing,
+	}
+	t.mu.Lock()
+	t.seq++
+	s.id = t.seq
+	t.solves[s.id] = s
+	t.mu.Unlock()
+	t.reg.Counter("progress.solves_started").Inc()
+	t.publish(trace, obs.Event{
+		T: now.UnixNano(), Kind: "solve_start", Name: endpoint,
+		Trace: trace, Parent: parent,
+	})
+	return &Handle{t: t, s: s}
+}
+
+// Emit feeds one solver event into the record: spans set the phase, iter
+// events advance the iteration/residual and the decay estimator, and
+// everything refreshes the heartbeat. Allocation-free; forwards to
+// subscribers only when any exist.
+func (h *Handle) Emit(e obs.Event) {
+	if h == nil {
+		return
+	}
+	now := time.Now()
+	s := h.s
+	s.mu.Lock()
+	s.lastEvent = now
+	switch e.Kind {
+	case "span_start":
+		s.phase = e.Name
+	case "iter":
+		s.phase = e.Name
+		s.iter = e.Iter
+		s.residual = e.Residual
+		s.est.add(e.Iter, now.UnixNano(), e.Residual)
+		if e.Residual > 0 && e.Residual < s.best {
+			s.best = e.Residual
+			s.lastImprove = now
+		}
+	}
+	s.mu.Unlock()
+	h.t.publish(s.trace, e)
+}
+
+// End closes the registration: the record leaves the in-flight table and
+// subscribers receive a terminal solve_end event carrying the final
+// iteration, residual, and (on failure) the error.
+func (h *Handle) End(err error) {
+	if h == nil {
+		return
+	}
+	t, s := h.t, h.s
+	s.mu.Lock()
+	s.done = true
+	iter, residual := s.iter, s.residual
+	s.mu.Unlock()
+	t.mu.Lock()
+	delete(t.solves, s.id)
+	t.mu.Unlock()
+	t.reg.Counter("progress.solves_finished").Inc()
+	e := obs.Event{
+		T: time.Now().UnixNano(), Kind: "solve_end", Name: s.endpoint,
+		Iter: iter, Residual: residual, Trace: s.trace, Parent: s.parent,
+	}
+	if err != nil {
+		e.Reason = err.Error()
+	}
+	t.publish(s.trace, e)
+}
+
+func (t *Tracker) inflight() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.solves)
+}
+
+func (t *Tracker) countState(state string) int {
+	if t == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range t.states() {
+		s.mu.Lock()
+		if s.state == state {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// states snapshots the in-flight records under the tracker lock.
+func (t *Tracker) states() []*solveState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*solveState, 0, len(t.solves))
+	for _, s := range t.solves {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SolveProgress is one in-flight solve as reported by Snapshot,
+// /debug/progress, and JobView.Progress. EtaSeconds is present only when
+// the decay fit predicts convergence (negative slope, at least two
+// residuals); SlopePerIter is the fitted log10-residual slope in decades
+// per iteration, 0 until the fit exists.
+type SolveProgress struct {
+	ID           uint64    `json:"id"`
+	Trace        string    `json:"trace,omitempty"`
+	Endpoint     string    `json:"endpoint,omitempty"`
+	SpecKey      string    `json:"spec_key,omitempty"`
+	Phase        string    `json:"phase,omitempty"`
+	State        string    `json:"state"`
+	Iter         int       `json:"iter"`
+	Residual     float64   `json:"residual,omitempty"`
+	BestResidual float64   `json:"best_residual,omitempty"`
+	SlopePerIter float64   `json:"slope_per_iter,omitempty"`
+	EtaSeconds   *float64  `json:"eta_seconds,omitempty"`
+	StartedAt    time.Time `json:"started_at"`
+	AgeMS        float64   `json:"age_ms"`
+	IdleMS       float64   `json:"idle_ms"`
+}
+
+// progressLocked assembles the exported view; s.mu must be held.
+func (s *solveState) progressLocked(now time.Time, tol float64) SolveProgress {
+	p := SolveProgress{
+		ID:        s.id,
+		Trace:     s.trace,
+		Endpoint:  s.endpoint,
+		SpecKey:   s.key,
+		Phase:     s.phase,
+		State:     s.state,
+		Iter:      s.iter,
+		Residual:  s.residual,
+		StartedAt: s.startedAt,
+		AgeMS:     float64(now.Sub(s.startedAt)) / float64(time.Millisecond),
+		IdleMS:    float64(now.Sub(s.lastEvent)) / float64(time.Millisecond),
+	}
+	if !math.IsInf(s.best, 1) {
+		p.BestResidual = s.best
+	}
+	if slope, ok := s.est.slope(); ok {
+		p.SlopePerIter = slope
+	}
+	if eta, ok := s.est.eta(tol); ok {
+		secs := eta.Seconds()
+		p.EtaSeconds = &secs
+	}
+	return p
+}
+
+// Snapshot returns the in-flight solves, oldest registration first.
+func (t *Tracker) Snapshot() []SolveProgress {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	states := t.states()
+	out := make([]SolveProgress, 0, len(states))
+	for _, s := range states {
+		s.mu.Lock()
+		if !s.done {
+			out = append(out, s.progressLocked(now, t.cfg.Tol))
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// LatestByTrace returns the most recently registered in-flight solve
+// carrying the given trace ID — the enrichment /v1/jobs/{id} uses while a
+// job runs.
+func (t *Tracker) LatestByTrace(trace string) (SolveProgress, bool) {
+	if t == nil || trace == "" {
+		return SolveProgress{}, false
+	}
+	now := time.Now()
+	var best SolveProgress
+	found := false
+	for _, s := range t.states() {
+		s.mu.Lock()
+		if !s.done && s.trace == trace && (!found || s.id > best.ID) {
+			best = s.progressLocked(now, t.cfg.Tol)
+			found = true
+		}
+		s.mu.Unlock()
+	}
+	return best, found
+}

@@ -1,0 +1,98 @@
+package progress
+
+import (
+	"sync/atomic"
+
+	"cdrstoch/internal/obs"
+)
+
+// Sub is one live event subscription, keyed by trace ID. Delivery is
+// strictly non-blocking: a subscriber that cannot keep up loses events
+// (counted per subscription and in progress.events_dropped) — the solver
+// is never throttled by a slow SSE client.
+type Sub struct {
+	t       *Tracker
+	trace   string
+	ch      chan obs.Event
+	dropped atomic.Uint64
+}
+
+// Subscribe registers a subscription for the given trace's events with a
+// bounded buffer (buf < 1 selects 64). Returns nil on a nil tracker or an
+// empty trace. Close the subscription when done.
+func (t *Tracker) Subscribe(trace string, buf int) *Sub {
+	if t == nil || trace == "" {
+		return nil
+	}
+	if buf < 1 {
+		buf = 64
+	}
+	s := &Sub{t: t, trace: trace, ch: make(chan obs.Event, buf)}
+	t.mu.Lock()
+	set := t.subs[trace]
+	if set == nil {
+		set = make(map[*Sub]struct{})
+		t.subs[trace] = set
+	}
+	set[s] = struct{}{}
+	t.mu.Unlock()
+	t.nsubs.Add(1)
+	return s
+}
+
+// C is the subscription's event channel. Nil on a nil subscription, so a
+// select over it blocks forever rather than panicking.
+func (s *Sub) C() <-chan obs.Event {
+	if s == nil {
+		return nil
+	}
+	return s.ch
+}
+
+// Dropped reports how many events this subscription lost to a full
+// buffer.
+func (s *Sub) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.dropped.Load()
+}
+
+// Close unsubscribes. The channel is not closed — a racing publish may
+// still hold it — it simply stops receiving.
+func (s *Sub) Close() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	if set, ok := t.subs[s.trace]; ok {
+		if _, present := set[s]; present {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(t.subs, s.trace)
+			}
+			t.nsubs.Add(-1)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// publish delivers one event to the trace's subscribers. The no-subscriber
+// fast path is a single atomic load, keeping the per-iteration event cost
+// unchanged when nobody is streaming.
+func (t *Tracker) publish(trace string, e obs.Event) {
+	if t == nil || trace == "" || t.nsubs.Load() == 0 {
+		return
+	}
+	t.mu.Lock()
+	for s := range t.subs[trace] {
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped.Add(1)
+			t.reg.Counter("progress.events_dropped").Inc()
+		}
+	}
+	t.mu.Unlock()
+}

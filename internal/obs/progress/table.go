@@ -1,0 +1,31 @@
+package progress
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// WriteTable renders the in-flight solves as the aligned human table
+// behind Accept: text/plain on /debug/progress, mirroring the
+// /debug/solves table convention.
+func WriteTable(w io.Writer, solves []SolveProgress) error {
+	if _, err := fmt.Fprintf(w, "%-4s %-10s %-14s %-12s %-12s %6s %12s %10s %10s %10s\n",
+		"id", "endpoint", "spec", "phase", "state", "iter", "residual", "eta", "age", "idle"); err != nil {
+		return err
+	}
+	for _, s := range solves {
+		eta := "-"
+		if s.EtaSeconds != nil {
+			eta = (time.Duration(*s.EtaSeconds * float64(time.Second))).Round(time.Millisecond).String()
+		}
+		age := time.Duration(s.AgeMS * float64(time.Millisecond)).Round(time.Millisecond)
+		idle := time.Duration(s.IdleMS * float64(time.Millisecond)).Round(time.Millisecond)
+		if _, err := fmt.Fprintf(w, "%-4d %-10s %-14s %-12s %-12s %6d %12.3e %10s %10s %10s\n",
+			s.ID, s.Endpoint, s.SpecKey, s.Phase, s.State, s.Iter, s.Residual, eta, age, idle); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d solve(s) in flight\n", len(solves))
+	return err
+}

@@ -17,6 +17,12 @@ import (
 //	iter                   one solver iteration: Iter, Residual
 //	level                  one multigrid level visit: Iter (cycle), Level, Size
 //	progress               Monte Carlo worker progress: Worker, Done, Total
+//	solve_start/solve_end  one tracked solve's lifetime (obs/progress);
+//	                       solve_end carries the final Iter/Residual and,
+//	                       on failure, the error in Reason
+//	watchdog               a watchdog classification transition; Name is the
+//	                       new state (stalled, diverging, recovered,
+//	                       canceled) and Reason says why
 type Event struct {
 	// T is the event timestamp in Unix nanoseconds.
 	T int64 `json:"t"`
@@ -44,6 +50,9 @@ type Event struct {
 	// empty (and absent from the JSON encoding) outside traced requests.
 	Trace  string `json:"trace,omitempty"`
 	Parent string `json:"parent,omitempty"`
+	// Reason explains watchdog transitions and solve_end failures
+	// ("no heartbeat within 10s", "context canceled", ...).
+	Reason string `json:"reason,omitempty"`
 }
 
 // Tracer is the sink for structured events. Implementations must be safe

@@ -17,6 +17,7 @@ import (
 	"cdrstoch/internal/multigrid"
 	"cdrstoch/internal/obs"
 	"cdrstoch/internal/obs/cost"
+	"cdrstoch/internal/obs/progress"
 	"cdrstoch/internal/passage"
 	"cdrstoch/internal/serve/speckey"
 	"cdrstoch/internal/spmat"
@@ -59,6 +60,12 @@ type EngineConfig struct {
 	// (multigrid.cycle). Nil (the default) disables injection at zero
 	// cost.
 	Faults *faults.Injector
+	// Progress registers every cache-miss solve with the live progress
+	// tracker: the solve's tracer events additionally feed a per-solve
+	// record (phase, iteration, residual, ETA) that the watchdog
+	// classifies and /debug/progress serves. Nil (the default) disables
+	// tracking at zero cost.
+	Progress *progress.Tracker
 	// Costs receives one SolveReport per cache-miss solve (the backing
 	// store of /debug/solves and the X-Solve-Cost-* headers). Nil skips
 	// the ring but the per-endpoint histograms still reach Registry.
@@ -245,6 +252,25 @@ func shortKey(key string) string {
 	return key
 }
 
+// trackProgress registers one solve with the live progress tracker. The
+// returned context is cancelable by the watchdog (armed only under
+// cancel-on-stall), the returned tracer tees the solve's events into its
+// tracker handle — per-solve attribution by construction, so concurrent
+// solves sharing a request trace (sweep fan-out) never mix records — and
+// the returned func closes the registration with the solve's disposition.
+// With no tracker configured everything passes through untouched.
+func (e *Engine) trackProgress(ctx context.Context, endpoint, key string) (context.Context, obs.Tracer, func(error)) {
+	if e.cfg.Progress == nil {
+		return ctx, e.cfg.Tracer, func(error) {}
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	h := e.cfg.Progress.Begin(ctx, endpoint, shortKey(key), cancel)
+	return ctx, obs.Tee(e.cfg.Tracer, h), func(err error) {
+		h.End(err)
+		cancel()
+	}
+}
+
 // solve builds the model and runs the stationary analysis under ctx.
 // Both stages record latency histograms (serve.build_ms, serve.solve_ms)
 // and emit trace-stamped spans, so per-request traces and the flight
@@ -252,20 +278,20 @@ func shortKey(key string) string {
 // stages additionally run under pprof labels (endpoint, spec, stage), so
 // CPU profiles of a busy server attribute samples to the spec being
 // solved, not just to "the solver".
-func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint string) (*core.Model, *core.Analysis, error) {
+func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint string) (m *core.Model, a *core.Analysis, err error) {
 	if err := e.acquire(ctx); err != nil {
 		return nil, nil, err
 	}
 	defer e.release()
-	if err := e.cfg.Faults.FireCtx(ctx, "engine.solve"); err != nil {
-		return nil, nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), err)
+	ctx, sink, endTrack := e.trackProgress(ctx, endpoint, key)
+	defer func() { endTrack(err) }()
+	if ferr := e.cfg.Faults.FireCtx(ctx, "engine.solve"); ferr != nil {
+		return nil, nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), ferr)
 	}
 	defer e.reg.Timer("serve.solve").Time()()
 	e.reg.Counter("serve.solves").Inc()
-	tr := obs.StampFromContext(ctx, e.cfg.Tracer)
+	tr := obs.StampFromContext(ctx, sink)
 
-	var m *core.Model
-	var err error
 	buildStart := time.Now()
 	endBuild := obs.StartSpan(tr, "serve.build")
 	pprof.Do(ctx, pprof.Labels("endpoint", endpoint, "spec", shortKey(key), "stage", "build"), func(ctx context.Context) {
@@ -279,10 +305,9 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint string
 	team := e.teams.Get().(*spmat.Pool)
 	defer e.teams.Put(team)
 	mg := e.cfg.Multigrid
-	mg.Trace = e.cfg.Tracer
+	mg.Trace = sink
 	mg.Pool = team
 	mg.Faults = e.cfg.Faults
-	var a *core.Analysis
 	solveStart := time.Now()
 	endSolve := obs.StartSpan(tr, "serve.solve")
 	pprof.Do(ctx, pprof.Labels("endpoint", endpoint, "spec", shortKey(key), "stage", "solve"), func(ctx context.Context) {
@@ -539,24 +564,55 @@ func (e *Engine) Sweep(ctx context.Context, base core.Spec, param string, values
 	return json.Marshal(SweepBody{Param: param, Points: points})
 }
 
+// swapTracer is an obs.Tracer whose target can be swapped between
+// solves. The batch sweep bakes one tracer into its long-lived session's
+// solver; the swap lets each point re-route the solver's events through
+// that point's progress handle without rebuilding the hierarchy.
+type swapTracer struct {
+	mu sync.RWMutex
+	t  obs.Tracer
+}
+
+func (s *swapTracer) set(t obs.Tracer) {
+	s.mu.Lock()
+	s.t = t
+	s.mu.Unlock()
+}
+
+func (s *swapTracer) Emit(e obs.Event) {
+	s.mu.RLock()
+	t := s.t
+	s.mu.RUnlock()
+	if t != nil {
+		t.Emit(e)
+	}
+}
+
 // sessionSolve runs one batch sweep point through the shared Session
 // under a solve slot, with the same metrics, fault point, pprof labels,
 // and trace spans as the point-at-a-time path. The slot is held only for
 // the point's own solve — never while waiting on another request's
-// flight — so a batch cannot deadlock a MaxConcurrent=1 engine.
-func (e *Engine) sessionSolve(ctx context.Context, sess *sweep.Session, spec core.Spec, key string) (*sweep.Point, error) {
+// flight — so a batch cannot deadlock a MaxConcurrent=1 engine. hold is
+// the session solver's swappable event sink (nil in tests that call this
+// directly); for the point's duration it routes through the progress
+// handle.
+func (e *Engine) sessionSolve(ctx context.Context, sess *sweep.Session, spec core.Spec, key string, hold *swapTracer) (pt *sweep.Point, err error) {
 	if err := e.acquire(ctx); err != nil {
 		return nil, err
 	}
 	defer e.release()
-	if err := e.cfg.Faults.FireCtx(ctx, "engine.solve"); err != nil {
-		return nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), err)
+	ctx, sink, endTrack := e.trackProgress(ctx, "sweep", key)
+	defer func() { endTrack(err) }()
+	if hold != nil {
+		hold.set(sink)
+		defer hold.set(e.cfg.Tracer)
+	}
+	if ferr := e.cfg.Faults.FireCtx(ctx, "engine.solve"); ferr != nil {
+		return nil, fmt.Errorf("serve: solve %s: %w", shortKey(key), ferr)
 	}
 	defer e.reg.Timer("serve.solve").Time()()
 	e.reg.Counter("serve.solves").Inc()
-	tr := obs.StampFromContext(ctx, e.cfg.Tracer)
-	var pt *sweep.Point
-	var err error
+	tr := obs.StampFromContext(ctx, sink)
 	solveStart := time.Now()
 	endSolve := obs.StartSpan(tr, "serve.sweep_point")
 	pprof.Do(ctx, pprof.Labels("endpoint", "sweep", "spec", shortKey(key), "stage", "solve"), func(ctx context.Context) {
@@ -596,8 +652,9 @@ func (e *Engine) SweepBatch(ctx context.Context, base core.Spec, param string, v
 	}
 	team := e.teams.Get().(*spmat.Pool)
 	defer e.teams.Put(team)
+	hold := &swapTracer{t: e.cfg.Tracer}
 	mg := e.cfg.Multigrid
-	mg.Trace = e.cfg.Tracer
+	mg.Trace = hold
 	mg.Pool = team
 	mg.Faults = e.cfg.Faults
 	sess := sweep.New(sweep.Options{Solve: core.SolveOptions{Multigrid: mg}})
@@ -621,7 +678,7 @@ func (e *Engine) SweepBatch(ctx context.Context, base core.Spec, param string, v
 				start := time.Now()
 				meter := cost.NewMeter()
 				ctx = cost.ContextWith(ctx, meter)
-				p, err := e.sessionSolve(ctx, sess, spec, h)
+				p, err := e.sessionSolve(ctx, sess, spec, h, hold)
 				defer func() {
 					var m *core.Model
 					if p != nil {

@@ -12,6 +12,7 @@ import (
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
 	"cdrstoch/internal/obs/cost"
+	"cdrstoch/internal/obs/progress"
 )
 
 // ErrQueueFull reports that the job queue rejected a submission; the HTTP
@@ -49,6 +50,15 @@ type JobView struct {
 	Retries int             `json:"retries,omitempty"`
 	Error   string          `json:"error,omitempty"`
 	Result  json.RawMessage `json:"result,omitempty"`
+	// QueuedAt and StartedAt (RFC 3339, nanosecond precision) separate
+	// queue wait from run time; StartedAt is absent while the job is still
+	// queued.
+	QueuedAt  string `json:"queued_at,omitempty"`
+	StartedAt string `json:"started_at,omitempty"`
+	// Progress is the live view of the job's in-flight solve (phase,
+	// iteration, residual, watchdog state, ETA), attached by the HTTP
+	// layer at poll time while the job runs.
+	Progress *progress.SolveProgress `json:"progress,omitempty"`
 	// Cost is the SolveReport of the job's solve, attached by the HTTP
 	// layer at poll time for terminal jobs whose report is still retained
 	// in the cost ring (matched by TraceID).
@@ -61,25 +71,37 @@ type job struct {
 	trace string
 	run   func(context.Context) ([]byte, bool, error)
 
-	mu      sync.Mutex
-	status  string
-	cached  bool
-	retries int
-	err     string
-	body    []byte
+	mu        sync.Mutex
+	status    string
+	cached    bool
+	retries   int
+	err       string
+	body      []byte
+	queuedAt  time.Time
+	startedAt time.Time
 }
 
 func (j *job) view() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return JobView{ID: j.id, Status: j.status, TraceID: j.trace, Cached: j.cached,
+	v := JobView{ID: j.id, Status: j.status, TraceID: j.trace, Cached: j.cached,
 		Retries: j.retries, Error: j.err, Result: j.body}
+	if !j.queuedAt.IsZero() {
+		v.QueuedAt = j.queuedAt.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.startedAt.IsZero() {
+		v.StartedAt = j.startedAt.UTC().Format(time.RFC3339Nano)
+	}
+	return v
 }
 
 func (j *job) set(status string, body []byte, cached bool, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.status = status
+	if status == StatusRunning && j.startedAt.IsZero() {
+		j.startedAt = time.Now()
+	}
 	j.body = body
 	j.cached = cached
 	if err != nil {
@@ -178,6 +200,9 @@ func NewJobsConfig(cfg JobsConfig) *Jobs {
 		cancel:    cancel,
 		jobs:      make(map[string]*job),
 	}
+	// Queue depth is computed at scrape time, so queue wait — previously
+	// folded invisibly into job wall time — is observable directly.
+	j.reg.GaugeFunc("serve.jobs_queue_depth", func() float64 { return float64(len(j.queue)) })
 	j.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go j.worker()
@@ -307,7 +332,8 @@ func (j *Jobs) Submit(trace string, run func(context.Context) ([]byte, bool, err
 		return "", ErrShuttingDown
 	}
 	j.seq++
-	t := &job{id: fmt.Sprintf("job-%06d", j.seq), trace: trace, run: run, status: StatusQueued}
+	t := &job{id: fmt.Sprintf("job-%06d", j.seq), trace: trace, run: run,
+		status: StatusQueued, queuedAt: time.Now()}
 	select {
 	case j.queue <- t:
 		j.jobs[t.id] = t

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -17,6 +18,7 @@ import (
 	"cdrstoch/internal/faults"
 	"cdrstoch/internal/obs"
 	"cdrstoch/internal/obs/cost"
+	"cdrstoch/internal/obs/progress"
 )
 
 // ServerConfig parameterizes a Server.
@@ -65,6 +67,26 @@ type ServerConfig struct {
 	// CostLog optionally mirrors every SolveReport to a JSONL sink for
 	// offline analysis; its drop counter is exported as cost.log_dropped.
 	CostLog *cost.JSONL
+	// StallWindow is the watchdog's staleness window: a solve with no
+	// events or no residual improvement for this long is classified
+	// stalled. Default 10s.
+	StallWindow time.Duration
+	// WatchdogInterval is the watchdog check cadence. Default 1s.
+	WatchdogInterval time.Duration
+	// DivergeChecks is how many consecutive residual-growth checks flag a
+	// solve diverging. Default 3.
+	DivergeChecks int
+	// CancelOnStall lets the watchdog cancel solves it classifies stalled
+	// or diverging, so the job layer's retry/backoff kicks in sooner.
+	// Off by default: a false positive under CPU starvation would kill a
+	// solve that was still making (slow) progress.
+	CancelOnStall bool
+	// WatchdogRingSize bounds the watchdog event ring behind
+	// /debug/progress. Default 1024.
+	WatchdogRingSize int
+	// EventsHeartbeat is the SSE keep-alive comment cadence on
+	// /v1/jobs/{id}/events. Default 5s.
+	EventsHeartbeat time.Duration
 }
 
 func (c ServerConfig) withDefaults() ServerConfig {
@@ -89,6 +111,9 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.Engine.Faults == nil {
 		c.Engine.Faults = c.Faults
 	}
+	if c.EventsHeartbeat <= 0 {
+		c.EventsHeartbeat = 5 * time.Second
+	}
 	return c
 }
 
@@ -96,12 +121,13 @@ func (c ServerConfig) withDefaults() ServerConfig {
 // NewServer, mount Handler on an http.Server, and Close during shutdown
 // (after http.Server.Shutdown) to drain queued jobs.
 type Server struct {
-	cfg    ServerConfig
-	engine *Engine
-	jobs   *Jobs
-	reg    *obs.Registry
-	flight *obs.FlightRecorder
-	costs  *cost.Ring
+	cfg      ServerConfig
+	engine   *Engine
+	jobs     *Jobs
+	reg      *obs.Registry
+	flight   *obs.FlightRecorder
+	costs    *cost.Ring
+	progress *progress.Tracker
 }
 
 // NewServer returns a ready Server.
@@ -120,12 +146,28 @@ func NewServer(cfg ServerConfig) *Server {
 	if cfg.Engine.CostLog == nil {
 		cfg.Engine.CostLog = cfg.CostLog
 	}
+	// The progress tracker watches every cache-miss solve; its watchdog
+	// events land in the flight recorder (for postmortems) and its own
+	// ring (for /debug/progress). It must exist before the engine so the
+	// engine can tee per-solve handles into its tracer chain.
+	prog := progress.New(progress.Config{
+		Registry:      cfg.Registry,
+		Out:           flight,
+		Tol:           cfg.Engine.Multigrid.Tol,
+		StallWindow:   cfg.StallWindow,
+		Interval:      cfg.WatchdogInterval,
+		DivergeChecks: cfg.DivergeChecks,
+		CancelOnStall: cfg.CancelOnStall,
+		RingSize:      cfg.WatchdogRingSize,
+	})
+	cfg.Engine.Progress = prog
 	s := &Server{
-		cfg:    cfg,
-		engine: NewEngine(cfg.Engine),
-		reg:    cfg.Registry,
-		flight: flight,
-		costs:  costs,
+		cfg:      cfg,
+		engine:   NewEngine(cfg.Engine),
+		reg:      cfg.Registry,
+		flight:   flight,
+		costs:    costs,
+		progress: prog,
 		jobs: NewJobsConfig(JobsConfig{
 			Workers:   cfg.Workers,
 			Depth:     cfg.QueueDepth,
@@ -148,15 +190,24 @@ func NewServer(cfg ServerConfig) *Server {
 	if j, ok := cfg.Tracer.(*obs.JSONL); ok {
 		s.reg.GaugeFunc("obs.jsonl_dropped", func() float64 { return float64(j.Dropped()) })
 	}
+	prog.Start()
 	return s
 }
 
 // Engine exposes the underlying engine (tests, warm-up solves).
 func (s *Server) Engine() *Engine { return s.engine }
 
+// Progress exposes the live progress tracker (tests, embedding).
+func (s *Server) Progress() *progress.Tracker { return s.progress }
+
 // Close drains the async queue: queued jobs still run, new submissions
-// are refused. Call after the http.Server has stopped accepting.
-func (s *Server) Close() { s.jobs.Close() }
+// are refused. Call after the http.Server has stopped accepting. The
+// watchdog stops only after the drain, so under CancelOnStall it can
+// still reap a stuck job blocking shutdown.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.progress.Stop()
+}
 
 // CancelJobs aborts running jobs; for hard shutdown after a drain
 // deadline.
@@ -170,10 +221,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flight", s.handleFlight)
 	mux.HandleFunc("GET /debug/solves", s.handleSolves)
+	mux.HandleFunc("GET /debug/progress", s.handleProgress)
 	return s.traced(s.recovered(mux))
 }
 
@@ -307,7 +360,11 @@ func (s *Server) writeBody(w http.ResponseWriter, body []byte, cached bool) {
 		w.Header().Set("X-Cache", "miss")
 	}
 	s.reg.Counter("serve.http_200").Inc()
-	w.Write(append(body, '\n'))
+	// body is the cache/singleflight-shared slice: appending the newline
+	// to it would write into the shared backing array and race with
+	// concurrent responses serving the same bytes.
+	w.Write(body)
+	io.WriteString(w, "\n")
 }
 
 // solveRequest is the envelope of /v1/analyze and /v1/slip.
@@ -501,22 +558,38 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.writeBody(w, body, false)
 }
 
-func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	view, ok := s.jobs.Get(r.PathValue("id"))
+// jobView resolves a job's current view, enriched with what the
+// observability layers know about it: terminal jobs carry their solve's
+// cost report (when the ring still retains it — the job layer preserved
+// the submitter's trace ID across retries, so the lookup matches even
+// for retried jobs, and the view's retry count is copied onto the
+// report), running jobs carry the live progress of their in-flight
+// solve (phase, iteration, residual, watchdog state, ETA).
+func (s *Server) jobView(id string) (JobView, bool) {
+	view, ok := s.jobs.Get(id)
 	if !ok {
-		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or evicted job"})
-		return
+		return JobView{}, false
 	}
-	// Terminal jobs carry their solve's cost report (when the ring still
-	// retains it). The job layer preserved the submitter's trace ID
-	// across retries, so the lookup matches even for retried jobs; the
-	// view's retry count is copied onto the report.
-	if view.Status == StatusDone || view.Status == StatusFailed {
+	switch view.Status {
+	case StatusDone, StatusFailed:
 		if rep, ok := s.costs.LatestByTrace(view.TraceID); ok {
 			rep.Retries = view.Retries
 			rep.Cached = view.Cached
 			view.Cost = &rep
 		}
+	case StatusRunning:
+		if p, ok := s.progress.LatestByTrace(view.TraceID); ok {
+			view.Progress = &p
+		}
+	}
+	return view, true
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.jobView(r.PathValue("id"))
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown or evicted job"})
+		return
 	}
 	s.writeJSON(w, http.StatusOK, view)
 }
@@ -642,6 +715,42 @@ func (s *Server) handleSolves(w http.ResponseWriter, r *http.Request) {
 		Count:   len(reports),
 		Dropped: s.costs.Dropped(),
 		Reports: reports,
+	})
+}
+
+// progressBody is the /debug/progress JSON response: the in-flight
+// solves (live phase/iteration/residual/ETA, watchdog state) plus the
+// recent watchdog events the ring retains.
+type progressBody struct {
+	Count    int                      `json:"count"`
+	Solves   []progress.SolveProgress `json:"solves"`
+	Watchdog []obs.Event              `json:"watchdog"`
+}
+
+// handleProgress serves the live in-flight solve table. Accept:
+// text/plain renders the aligned human table (same negotiation as
+// /debug/solves); everything else gets JSON with the watchdog event
+// tail (bounded by ?limit=) attached.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	solves := s.progress.Snapshot()
+	if acceptsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := progress.WriteTable(w, solves); err != nil {
+			s.reg.Counter("serve.metrics_write_errors").Inc()
+		}
+		return
+	}
+	if solves == nil {
+		solves = []progress.SolveProgress{}
+	}
+	wd := s.progress.Ring().Tail(queryLimit(r, solvesLimitDefault, solvesLimitMax))
+	if wd == nil {
+		wd = []obs.Event{}
+	}
+	s.writeJSON(w, http.StatusOK, progressBody{
+		Count:    len(solves),
+		Solves:   solves,
+		Watchdog: wd,
 	})
 }
 

@@ -51,6 +51,91 @@ func postJSON(t *testing.T, url string, v any) (*http.Response, []byte) {
 	return resp, body
 }
 
+// TestWriteBodyLeavesSharedSliceAlone pins the immutability contract the
+// cache and singleflight rely on: writeBody serves the same slice to
+// every concurrent response, so it must not write into the slice's
+// backing array — not even into spare capacity past len, which is where
+// appending the trailing newline used to land (a data race between
+// handlers, caught by the chaos suite only when json.Marshal's size
+// class left room). The sentinel in the spare capacity makes the check
+// deterministic.
+func TestWriteBodyLeavesSharedSliceAlone(t *testing.T) {
+	body := make([]byte, 64, 128)
+	backing := body[:cap(body)]
+	for i := range backing {
+		backing[i] = 'x'
+	}
+	var s Server // nil registry: counters are no-ops
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			s.writeBody(rec, body, true)
+			if got := rec.Body.String(); got != string(body)+"\n" {
+				t.Errorf("response = %q", got)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, b := range backing {
+		if b != 'x' {
+			t.Fatalf("backing array mutated at offset %d: %q", i, b)
+		}
+	}
+}
+
+// TestServerConcurrentCachedResponses pins writeBody's shared-slice
+// contract: the cached body is one slice handed to every concurrent
+// response, so the handler must never mutate it (the old append of the
+// trailing newline wrote into the shared backing array — a data race
+// the detector catches here, and torn bytes without it). All responses
+// must come back byte-identical.
+func TestServerConcurrentCachedResponses(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerConfig{})
+	req := solveRequest{Spec: testSpec(t)}
+	_, want := postJSON(t, ts.URL+"/v1/analyze", req) // prime the cache
+
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, err := json.Marshal(req)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(b))
+			if err != nil {
+				errs <- err
+				return
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			if !bytes.Equal(body, want) {
+				errs <- fmt.Errorf("concurrent cached body differs:\n%s\nvs\n%s", body, want)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
 func TestServerAnalyzeCacheFlow(t *testing.T) {
 	_, ts, reg := newTestServer(t, ServerConfig{})
 	req := solveRequest{Spec: testSpec(t)}
