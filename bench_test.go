@@ -9,6 +9,7 @@ package cdrstoch
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"cdrstoch/internal/bitsim"
@@ -387,6 +388,48 @@ func BenchmarkKronVsExplicit(b *testing.B) {
 			d.VecMul(y, x)
 		}
 	})
+}
+
+// BenchmarkKronStationary is the headline matrix-free solve benchmark:
+// the complete stationary analysis (build + multigrid solve) through the
+// explicit CSR backend against the Kronecker-descriptor backend on the
+// same Figure 5 spec at growing counter size. Both converge to the same
+// tolerance; the matrix-bytes metric is the transition storage each
+// backend actually held, which is where the descriptor wins — it grows
+// with the component factors, not with their product.
+func BenchmarkKronStationary(b *testing.B) {
+	for _, counter := range []int{8, 32} {
+		spec := experiments.Fig5Spec(counter)
+		b.Run(fmt.Sprintf("explicit/counter%d", counter), func(b *testing.B) {
+			m := buildOrFatal(b, spec)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := m.Solve(core.SolveOptions{})
+				if err != nil || !a.Multigrid.Converged {
+					b.Fatalf("explicit: %v", err)
+				}
+				b.ReportMetric(float64(a.Multigrid.Cycles), "cycles")
+			}
+			b.ReportMetric(float64(m.NumStates()), "states")
+			b.ReportMetric(float64(m.P.MemoryBytes()), "matrix-bytes")
+		})
+		b.Run(fmt.Sprintf("kron/counter%d", counter), func(b *testing.B) {
+			m, err := core.BuildShell(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a, err := m.SolveKron(core.SolveOptions{})
+				if err != nil || !a.Multigrid.Converged {
+					b.Fatalf("kron: %v", err)
+				}
+				b.ReportMetric(float64(a.Multigrid.Cycles), "cycles")
+			}
+			b.ReportMetric(float64(m.NumStates()), "states")
+			b.ReportMetric(float64(m.Desc.MemoryBytes()), "matrix-bytes")
+		})
+	}
 }
 
 // BenchmarkGTHCoarsest measures the direct solve used at the bottom of the

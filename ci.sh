@@ -64,6 +64,23 @@ go test -race -count=1 \
     -run 'TestPoolKernelsAllocFree|TestPoolMulVecsAllocFree|TestPoolMulVecsBitIdentical' \
     ./internal/spmat
 
+echo "== kron backend parity (matrix-free vs explicit, -race) =="
+# The matrix-free Kronecker backend must agree with the explicit CSR
+# backend at every layer it plugs into: the shuffle kernels against the
+# materialized matrix (including the parallel split), the operator-backed
+# markov solvers, the implicit-fine-level multigrid, the core analysis,
+# the FSM synchronous product, and the HTTP backend selector end to end.
+go test -race -count=1 \
+    -run 'TestParallelShuffleMatchesSerial|TestStructuralSurfaceMatchesMaterialized|TestDescriptorMatchesFSMProduct|TestUnconvergedSentinelCrossesLayers' \
+    ./internal/kron
+go test -race -count=1 -run 'TestOperatorChain' ./internal/markov
+go test -race -count=1 -run 'TestKronSolver' ./internal/multigrid
+go test -race -count=1 -run 'TestSolveKron|TestBuildShell' ./internal/core
+go test -race -count=1 -run 'TestAnalyzeKronBackendParity|TestBackendValidation' ./internal/serve
+
+echo "== kron workspace allocs (zero-alloc shuffle products) =="
+go test -count=1 -run 'TestShuffleProductsAllocFree|TestRowIterAllocFree' ./internal/kron
+
 echo "== bench smoke (1 iteration per benchmark) =="
 go test -run '^$' -bench 'BenchmarkStationary|BenchmarkFig3MatrixForm' \
     -benchtime 1x -benchmem .

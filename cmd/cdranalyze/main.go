@@ -38,6 +38,7 @@ func main() {
 	bathtub := fs.Int("bathtub", 0, "emit an N-point bathtub curve (offset_ui,ber) as CSV")
 	eyeAt := fs.Float64("eye-at", 0, "report the eye opening at this BER target")
 	costRep := fs.Bool("cost", false, "print the solve's cost report (SolveReport JSON) to stderr")
+	backend := fs.String("backend", "explicit", "solve backend: explicit (assemble the TPM) or kron (matrix-free Kronecker descriptor)")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
 	}
@@ -51,16 +52,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	kron := false
+	switch *backend {
+	case "explicit":
+	case "kron":
+		kron = true
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (want explicit or kron)", *backend))
+	}
 	buildDone := obsrv.Registry.Timer("build").Time()
 	endBuild := obs.StartSpan(obsrv.Tracer, "cdranalyze.build")
-	model, err := core.Build(spec)
+	var model *core.Model
+	if kron {
+		model, err = core.BuildShell(spec)
+	} else {
+		model, err = core.Build(spec)
+	}
 	endBuild()
 	buildDone()
 	if err != nil {
 		fatal(err)
 	}
 	obsrv.Registry.Gauge("model.states").Set(float64(model.NumStates()))
-	obsrv.Registry.Gauge("model.nnz").Set(float64(model.P.NNZ()))
+	if model.P != nil {
+		obsrv.Registry.Gauge("model.nnz").Set(float64(model.P.NNZ()))
+	} else {
+		obsrv.Registry.Gauge("model.nnz").Set(float64(model.Desc.NNZ()))
+	}
 	if *describe {
 		fmt.Println(model.Describe())
 	}
@@ -94,7 +112,12 @@ func main() {
 	}
 	solveDone := obsrv.Registry.Timer("solve").Time()
 	endSolve := obs.StartSpan(obsrv.Tracer, "cdranalyze.solve")
-	a, err := model.Solve(opt)
+	var a *core.Analysis
+	if kron {
+		a, err = model.SolveKron(opt)
+	} else {
+		a, err = model.Solve(opt)
+	}
 	endSolve()
 	solveDone()
 	if err != nil {
@@ -104,8 +127,13 @@ func main() {
 		rep := meter.Finish()
 		rep.Endpoint = "cli"
 		rep.States = model.NumStates()
-		rep.NNZ = model.P.NNZ()
-		rep.MatrixBytes = model.P.MemoryBytes()
+		if model.P != nil {
+			rep.NNZ = model.P.NNZ()
+			rep.MatrixBytes = model.P.MemoryBytes()
+		} else {
+			rep.NNZ = int(model.Desc.NNZ())
+			rep.MatrixBytes = model.Desc.MemoryBytes()
+		}
 		// Stderr keeps -csv and -bathtub stdout pipelines clean.
 		enc := json.NewEncoder(os.Stderr)
 		enc.SetIndent("", "  ")

@@ -34,7 +34,7 @@ import (
 // headline is the default benchmark selection: the solver-loop allocation
 // baseline, the heaviest figure panel, the grid-refinement scaling, and
 // the batched-sweep throughput comparison.
-const headline = `^(BenchmarkStationary|BenchmarkFig5Counter32|BenchmarkSolverScaling|BenchmarkSweepFig5)$`
+const headline = `^(BenchmarkStationary|BenchmarkFig5Counter32|BenchmarkSolverScaling|BenchmarkSweepFig5|BenchmarkKronStationary)$`
 
 // Result is one parsed benchmark line.
 type Result struct {

@@ -17,6 +17,7 @@ import (
 	"cdrstoch/internal/core"
 	"cdrstoch/internal/dist"
 	"cdrstoch/internal/experiments"
+	"cdrstoch/internal/kron"
 	"cdrstoch/internal/pdd"
 	"cdrstoch/internal/spmat"
 )
@@ -95,13 +96,29 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	piK, _, resid := d.StationaryPower(1e-11, 200000, 0.9)
-	if resid > 1e-10 {
-		t.Fatalf("kron power residual %g", resid)
+	kres, err := d.StationaryPower(kron.PowerOptions{Tol: 1e-11, MaxIter: 200000, Damping: 0.9})
+	if err != nil {
+		t.Fatalf("kron power: %v", err)
 	}
 	for i := range ref {
-		if math.Abs(piK[i]-ref[i]) > 1e-7 {
-			t.Fatalf("kron vs GTH at %d: %g vs %g", i, piK[i], ref[i])
+		if math.Abs(kres.Pi[i]-ref[i]) > 1e-7 {
+			t.Fatalf("kron vs GTH at %d: %g vs %g", i, kres.Pi[i], ref[i])
+		}
+	}
+
+	// Matrix-free end to end: shell build + implicit multigrid reproduces
+	// the explicit analysis without ever forming the TPM.
+	shell, err := core.BuildShell(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, err := shell.SolveKron(core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(ka.Pi[i]-ref[i]) > 1e-9 {
+			t.Fatalf("SolveKron vs GTH at %d: %g vs %g", i, ka.Pi[i], ref[i])
 		}
 	}
 

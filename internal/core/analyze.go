@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
 	"cdrstoch/internal/dist"
+	"cdrstoch/internal/kron"
 	"cdrstoch/internal/lump"
 	"cdrstoch/internal/markov"
 	"cdrstoch/internal/multigrid"
@@ -18,7 +20,9 @@ import (
 // reaching tolerance. Callers (the HTTP service in particular) match it
 // with errors.Is to trigger postmortem handling — flight-recorder dumps
 // attached to the error response — distinct from plain input errors.
-var ErrUnconverged = errors.New("did not converge")
+// It aliases the kron package's sentinel (core imports kron, never the
+// reverse), so a matrix-free solve's failure matches under either name.
+var ErrUnconverged = kron.ErrUnconverged
 
 // SolveOptions configures the stationary analysis.
 type SolveOptions struct {
@@ -74,6 +78,21 @@ func (m *Model) Hierarchy(minSegLen int) ([]*lump.Partition, error) {
 	for segLen > minSegLen {
 		segLen = (segLen + 1) / 2
 	}
+	cp, err := m.counterParts(segLen)
+	if err != nil {
+		return nil, err
+	}
+	return append(parts, cp...), nil
+}
+
+// counterParts continues the coarsening across the counter dimension —
+// adjacent counter states merge elementwise — once the phase dimension
+// has been reduced to segLen points per segment, until at most three
+// counter states remain per data state. Shared by the explicit hierarchy
+// (Hierarchy, below the phase-pair levels) and the matrix-free solve
+// (below the aggregated Kronecker restriction).
+func (m *Model) counterParts(segLen int) ([]*lump.Partition, error) {
+	var parts []*lump.Partition
 	counters := m.C
 	for counters > 3 {
 		part, err := lump.PairSegmentsElementwise(segLen, counters, m.D)
@@ -115,9 +134,99 @@ func (m *Model) Solve(opt SolveOptions) (*Analysis, error) {
 	}, nil
 }
 
+// SolveKron computes the stationary distribution without materializing
+// the TPM: the chain's Kronecker descriptor (the model's Desc, built on
+// demand for explicit models) stays implicit at the finest level of the
+// multigrid.KronSolver, whose first restriction folds the phase-pair
+// coarsening — all the levels Hierarchy would build explicitly, down to
+// MinSegLen — into one aggregated explicit coarse matrix, with the
+// counter lumping continuing below it. Memory stays at a few state-sized
+// vectors plus the coarse hierarchy; the product matrix never exists.
+func (m *Model) SolveKron(opt SolveOptions) (*Analysis, error) {
+	opt = opt.withDefaults()
+	d := m.Desc
+	if d == nil {
+		var err error
+		d, err = m.BuildDescriptor()
+		if err != nil {
+			return nil, err
+		}
+		m.Desc = d
+	}
+	// The implicit restriction folds at most two phase pairings: deeper
+	// folds skip too many smoothing levels and the cycle stalls on wide
+	// phase grids, while two keep the explicit coarse matrix at ~1/16 of
+	// the product nnz. Below it, phase pairing continues level by level on
+	// the explicit coarse hierarchy exactly as the assembled solve does.
+	const maxImplicitAgg = 2
+	agg := 0
+	mc := m.M
+	for mc > opt.MinSegLen && agg < maxImplicitAgg {
+		mc = (mc + 1) / 2
+		agg++
+	}
+	if agg == 0 {
+		// Phase grid already at or below MinSegLen: the implicit restriction
+		// still needs one coarsening step to produce its explicit level.
+		if m.M < 2 {
+			return nil, errors.New("core: phase grid too small for the matrix-free solver")
+		}
+		agg = 1
+		mc = (m.M + 1) / 2
+	}
+	workers := opt.Multigrid.Workers
+	if workers == 0 {
+		if opt.Multigrid.Pool != nil {
+			workers = opt.Multigrid.Pool.Workers()
+		} else {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	d.SetWorkers(workers)
+	var parts []*lump.Partition
+	segLen := mc
+	if segLen > opt.MinSegLen {
+		pp, err := multigrid.BuildPairHierarchy(segLen, m.D*m.C, opt.MinSegLen)
+		if err != nil {
+			return nil, err
+		}
+		parts = pp
+		for segLen > opt.MinSegLen {
+			segLen = (segLen + 1) / 2
+		}
+	}
+	cp, err := m.counterParts(segLen)
+	if err != nil {
+		return nil, err
+	}
+	parts = append(parts, cp...)
+	solver, err := multigrid.NewKron(d, agg, parts, opt.Multigrid)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res, err := solver.Solve(nil)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if !res.Converged {
+		return nil, fmt.Errorf("core: multigrid %w: %v", ErrUnconverged, res)
+	}
+	return &Analysis{
+		Pi:        res.Pi,
+		BER:       m.BER(res.Pi),
+		Multigrid: res,
+		SolveTime: elapsed,
+	}, nil
+}
+
 // SolveDirect computes the stationary distribution with dense GTH — exact,
 // subtraction-free, O(n³); for small models and cross-validation.
 func (m *Model) SolveDirect() ([]float64, error) {
+	if m.P == nil {
+		return nil, errors.New("core: SolveDirect requires an assembled TPM")
+	}
 	ch, err := markov.New(m.P)
 	if err != nil {
 		return nil, err
@@ -230,7 +339,13 @@ func (m *Model) SlipSet() []bool {
 // SlipStats computes the stationary entry flux into the slip set and the
 // implied mean time between cycle slips (in bit periods).
 func (m *Model) SlipStats(pi []float64) (passage.FluxResult, error) {
-	return passage.SlipFlux(m.P, pi, m.SlipSet())
+	if m.P != nil {
+		return passage.SlipFlux(m.P, pi, m.SlipSet())
+	}
+	if m.Desc != nil {
+		return passage.SlipFluxOp(m.Desc, pi, m.SlipSet())
+	}
+	return passage.FluxResult{}, errors.New("core: model has no transition backend")
 }
 
 // WrapSlipRate returns the stationary probability per bit that the phase
@@ -289,9 +404,18 @@ func (m *Model) MeanTimeToSlip() (float64, error) {
 	return times[m.LockedIndex()], nil
 }
 
-// Chain wraps the TPM in a markov.Chain for structural queries and
-// classical solvers.
-func (m *Model) Chain() (*markov.Chain, error) { return markov.New(m.P) }
+// Chain wraps the transition backend in a markov.Chain: the TPM when one
+// was assembled (full structural queries and solvers), the Kronecker
+// descriptor otherwise (the operator-capable solvers).
+func (m *Model) Chain() (*markov.Chain, error) {
+	if m.P == nil && m.Desc != nil {
+		return markov.NewOperator(m.Desc)
+	}
+	if m.P == nil {
+		return nil, errors.New("core: model has no transition backend")
+	}
+	return markov.New(m.P)
+}
 
 // FigureHeader renders the annotation line the paper prints above each
 // figure panel: counter length, n_w standard deviation, max |n_r| and BER.
@@ -318,6 +442,11 @@ func (m *Model) Describe() string {
 		m.Spec.TransitionDensity, m.Spec.MaxRunLength, m.Spec.CounterLen)
 	fmt.Fprintf(&b, "  n_w std %.4g UI, n_r mean %.4g max %.4g UI\n",
 		m.Spec.EyeJitter.Std(), m.Spec.Drift.Mean(), m.Spec.Drift.MaxAbs())
-	fmt.Fprintf(&b, "  TPM nnz %d, bandwidth %d", m.P.NNZ(), m.P.Bandwidth())
+	if m.P != nil {
+		fmt.Fprintf(&b, "  TPM nnz %d, bandwidth %d", m.P.NNZ(), m.P.Bandwidth())
+	} else if m.Desc != nil {
+		fmt.Fprintf(&b, "  Kronecker descriptor: %d terms, %d stored entries (%d B)",
+			m.Desc.NumTerms(), m.Desc.NNZ(), m.Desc.MemoryBytes())
+	}
 	return b.String()
 }

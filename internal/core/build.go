@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"cdrstoch/internal/dist"
+	"cdrstoch/internal/kron"
 	"cdrstoch/internal/spmat"
 )
 
@@ -17,10 +18,17 @@ type Model struct {
 	Spec Spec
 	// D, C, M are the data, counter and phase-grid state counts.
 	D, C, M int
-	// P is the transition probability matrix over the full product space.
+	// P is the transition probability matrix over the full product space;
+	// nil for a matrix-free model (BuildShell), whose transitions exist
+	// only through Desc.
 	P *spmat.CSR
-	// FormTime is the wall-clock time spent assembling P (the paper's
-	// "Matrixformtime" annotation).
+	// Desc is the Kronecker descriptor backing a matrix-free model
+	// (BuildShell); nil when the model was assembled explicitly (Build),
+	// though SolveKron materializes one on demand for either form.
+	Desc *kron.Descriptor
+	// FormTime is the wall-clock time spent assembling P — the paper's
+	// "Matrixformtime" annotation — or, for a matrix-free model, the
+	// descriptor and wrap-tally formation time.
 	FormTime time.Duration
 
 	mid       int // phase index of Φ = 0
@@ -30,12 +38,13 @@ type Model struct {
 	wrapSlip []float64
 }
 
-// Build assembles the transition probability matrix from the spec.
-func Build(spec Spec) (*Model, error) {
+// newShell validates the spec and sets up the model's dimensional frame —
+// everything both the explicit (Build) and matrix-free (BuildShell)
+// constructors share before choosing a transition backend.
+func newShell(spec Spec) (*Model, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
 	m := &Model{
 		Spec:      spec,
 		D:         spec.numData(),
@@ -48,57 +57,34 @@ func Build(spec Spec) (*Model, error) {
 	} else {
 		m.mid = (m.M - 1) / 2
 	}
+	return m, nil
+}
 
-	n := m.D * m.C * m.M
-	if spec.WrapPhase {
-		m.wrapSlip = make([]float64, n)
-	}
-	drift := spec.Drift.Trim()
-	// The phase-detector decision probabilities depend only on the phase
-	// index, not on the data or counter state: evaluate the deep-tail
-	// probabilities once per grid point instead of once per product state.
-	// On a data transition the PD emits LEAD when Φ + n_w > +δ, LAG when
-	// Φ + n_w ≤ −δ and NULL inside the dead zone |Φ + n_w| ≤ δ (δ = 0
-	// recovers the ideal signum detector). Deep-tail-safe evaluation keeps
-	// BER ~1e−14 distinguishable from zero.
-	pLeadAt := make([]float64, m.M)
-	pLagAt := make([]float64, m.M)
-	pNullAt := make([]float64, m.M)
+// pdTables evaluates the phase-detector decision probabilities once per
+// grid point. They depend only on the phase index, not on the data or
+// counter state. On a data transition the PD emits LEAD when Φ + n_w > +δ,
+// LAG when Φ + n_w ≤ −δ and NULL inside the dead zone |Φ + n_w| ≤ δ (δ = 0
+// recovers the ideal signum detector). Deep-tail-safe evaluation keeps
+// BER ~1e−14 distinguishable from zero.
+func (m *Model) pdTables() (pLeadAt, pLagAt, pNullAt []float64) {
+	pLeadAt = make([]float64, m.M)
+	pLagAt = make([]float64, m.M)
+	pNullAt = make([]float64, m.M)
 	for mi := 0; mi < m.M; mi++ {
 		pLeadAt[mi], pLagAt[mi], pNullAt[mi] = m.pdProbs(m.PhaseValue(mi))
 	}
-	// Each surviving branch scatters one triplet entry per nonzero drift
-	// mass point; count the branches exactly so assembly never regrows.
-	driftNNZ := 0
-	drift.Support(func(float64, int, float64) { driftNNZ++ })
-	entries := 0
-	for d := 0; d < m.D; d++ {
-		pt := spec.transProb(d)
-		branches := 0
-		for mi := 0; mi < m.M; mi++ {
-			if 1-pt > 0 {
-				branches++
-			}
-			if pt > 0 {
-				if pt*pLeadAt[mi] > 0 {
-					branches++
-				}
-				if pt*pLagAt[mi] > 0 {
-					branches++
-				}
-				if pt*pNullAt[mi] > 0 {
-					branches++
-				}
-			}
-		}
-		entries += m.C * branches * driftNNZ
-	}
-	tr := spmat.NewTriplet(n, n)
-	tr.Reserve(entries)
+	return pLeadAt, pLagAt, pNullAt
+}
 
+// assemble walks every (data, counter, phase) state and scatters its
+// surviving transition branches: into tr when non-nil (the explicit
+// build), and in any case through addBranch's wrap-slip tally — which is
+// how BuildShell obtains the WrapPhase slip probabilities without ever
+// holding a triplet.
+func (m *Model) assemble(tr *spmat.Triplet, drift *dist.PMF, pLeadAt, pLagAt, pNullAt []float64) {
 	for d := 0; d < m.D; d++ {
-		pt := spec.transProb(d)
-		dNoTrans := spec.nextDataState(d, false)
+		pt := m.Spec.transProb(d)
+		dNoTrans := m.Spec.nextDataState(d, false)
 		for c := 0; c < m.C; c++ {
 			cLead, corrLead := m.counterStep(c, +1)
 			cLag, corrLag := m.counterStep(c, -1)
@@ -123,11 +109,97 @@ func Build(spec Spec) (*Model, error) {
 			}
 		}
 	}
+}
+
+// Build assembles the transition probability matrix from the spec.
+func Build(spec Spec) (*Model, error) {
+	m, err := newShell(spec)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := m.D * m.C * m.M
+	if spec.WrapPhase {
+		m.wrapSlip = make([]float64, n)
+	}
+	drift := spec.Drift.Trim()
+	pLeadAt, pLagAt, pNullAt := m.pdTables()
+	tr := spmat.NewTriplet(n, n)
+	tr.Reserve(m.scatteredEntries(drift, pLeadAt, pLagAt, pNullAt))
+	m.assemble(tr, drift, pLeadAt, pLagAt, pNullAt)
 	p := tr.ToCSR()
 	if err := p.CheckStochastic(1e-9); err != nil {
 		return nil, fmt.Errorf("core: assembled TPM invalid: %w", err)
 	}
 	m.P = p
+	m.FormTime = time.Since(start)
+	return m, nil
+}
+
+// scatteredEntries counts the triplet entries assemble would scatter:
+// each surviving branch contributes one entry per nonzero drift mass
+// point. Build uses it to Reserve exactly (assembly never regrows);
+// ExplicitEntries uses it to price an assembly that never happens.
+func (m *Model) scatteredEntries(drift *dist.PMF, pLeadAt, pLagAt, pNullAt []float64) int {
+	driftNNZ := 0
+	drift.Support(func(float64, int, float64) { driftNNZ++ })
+	entries := 0
+	for d := 0; d < m.D; d++ {
+		pt := m.Spec.transProb(d)
+		branches := 0
+		for mi := 0; mi < m.M; mi++ {
+			if 1-pt > 0 {
+				branches++
+			}
+			if pt > 0 {
+				if pt*pLeadAt[mi] > 0 {
+					branches++
+				}
+				if pt*pLagAt[mi] > 0 {
+					branches++
+				}
+				if pt*pNullAt[mi] > 0 {
+					branches++
+				}
+			}
+		}
+		entries += m.C * branches * driftNNZ
+	}
+	return entries
+}
+
+// ExplicitEntries counts the triplet entries an explicit Build of this
+// model would scatter — an upper bound within a few percent of the final
+// CSR's nnz (boundary clamping and wrap folding merge some duplicates).
+// It runs the exact counting loop Build uses without allocating anything
+// matrix-shaped, so a matrix-free shell can report what the assembly it
+// avoided would have cost.
+func (m *Model) ExplicitEntries() int {
+	pLeadAt, pLagAt, pNullAt := m.pdTables()
+	return m.scatteredEntries(m.Spec.Drift.Trim(), pLeadAt, pLagAt, pNullAt)
+}
+
+// BuildShell prepares a model for matrix-free analysis: the dimensional
+// frame, the Kronecker descriptor, and (for WrapPhase models) the
+// per-state wrap-slip tally — everything Build produces except the
+// assembled TPM. Memory stays proportional to the component factors plus
+// one state-sized vector for the tally; the product matrix never exists.
+func BuildShell(spec Spec) (*Model, error) {
+	m, err := newShell(spec)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if spec.WrapPhase {
+		m.wrapSlip = make([]float64, m.D*m.C*m.M)
+		pLeadAt, pLagAt, pNullAt := m.pdTables()
+		m.assemble(nil, spec.Drift.Trim(), pLeadAt, pLagAt, pNullAt)
+	}
+	d, err := m.BuildDescriptor()
+	if err != nil {
+		return nil, err
+	}
+	m.Desc = d
 	m.FormTime = time.Since(start)
 	return m, nil
 }
@@ -153,7 +225,9 @@ func (m *Model) addBranch(tr *spmat.Triplet, from, d, c, mi, corrSteps int, w fl
 				mj = m.M - 1
 			}
 		}
-		tr.Add(from, m.StateIndex(d, c, mj), w*pk)
+		if tr != nil {
+			tr.Add(from, m.StateIndex(d, c, mj), w*pk)
+		}
 	})
 }
 

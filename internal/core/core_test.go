@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"cdrstoch/internal/dist"
+	"cdrstoch/internal/kron"
 	"cdrstoch/internal/markov"
 )
 
@@ -383,10 +384,14 @@ func TestDescriptorStationaryMatches(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pi, _, resid := d.StationaryPower(1e-12, 200000, 0.9)
-	if resid > 1e-11 {
-		t.Fatalf("descriptor power residual %g", resid)
+	res, err := d.StationaryPower(kron.PowerOptions{Tol: 1e-12, MaxIter: 200000, Damping: 0.9})
+	if err != nil {
+		t.Fatal(err)
 	}
+	if res.Residual > 1e-11 {
+		t.Fatalf("descriptor power residual %g", res.Residual)
+	}
+	pi := res.Pi
 	ref, err := m.SolveDirect()
 	if err != nil {
 		t.Fatal(err)

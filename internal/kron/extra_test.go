@@ -84,10 +84,14 @@ func TestStationaryPowerDefaults(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Degenerate option values fall back to defaults.
-	pi, iters, resid := d.StationaryPower(-1, -1, -1)
-	if resid > 1e-11 || iters < 1 {
-		t.Fatalf("resid %g iters %d", resid, iters)
+	res, err := d.StationaryPower(PowerOptions{Tol: -1, MaxIter: -1, Damping: -1})
+	if err != nil {
+		t.Fatal(err)
 	}
+	if res.Residual > 1e-11 || res.Iterations < 1 || !res.Converged {
+		t.Fatalf("resid %g iters %d", res.Residual, res.Iterations)
+	}
+	pi := res.Pi
 	ref, err := spmat.StationaryGTHCSR(a)
 	if err != nil {
 		t.Fatal(err)

@@ -6,17 +6,28 @@
 // storing and manipulating very large structured TPMs.
 //
 // A descriptor never materializes the global matrix: the fundamental
-// operation y = x·P is evaluated term by term with the shuffle algorithm,
-// one tensor mode at a time, at a cost proportional to the component
-// matrices' nonzeros times the remaining dimensions.
+// operations y = x·P and y = P·x are evaluated term by term with the
+// shuffle algorithm, one tensor mode at a time, at a cost proportional to
+// the component matrices' nonzeros times the remaining dimensions. A
+// Descriptor satisfies markov.Operator (Dims, MulVec, VecMul, Diag,
+// RowSums), so every operator-backed markov solver — power, Jacobi,
+// GMRES — and the multigrid Kron path run directly on the implicit form.
 package kron
 
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"cdrstoch/internal/spmat"
 )
+
+// ErrUnconverged marks an iterative Kron solve that exhausted its budget
+// without reaching tolerance. core.ErrUnconverged aliases this sentinel
+// (core imports kron, never the reverse), so errors.Is matches a Kron
+// solve's failure against either name — the service's postmortem and
+// retry classification work unchanged for the matrix-free path.
+var ErrUnconverged = errors.New("did not converge")
 
 // Term is one Kronecker-product summand c·(F₁ ⊗ F₂ ⊗ … ⊗ F_C).
 type Term struct {
@@ -32,6 +43,13 @@ type Descriptor struct {
 	sizes []int
 	dim   int
 	terms []Term
+
+	// workers is the slab-parallel width of the shuffle products; set
+	// once via SetWorkers before the descriptor is shared.
+	workers int
+	// ws recycles shuffle scratch for the convenience VecMul/MulVec
+	// forms, so repeated multiplies allocate nothing after warmup.
+	ws sync.Pool
 }
 
 // NewDescriptor validates the terms and returns a descriptor.
@@ -77,11 +95,17 @@ func NewDescriptor(terms []Term) (*Descriptor, error) {
 		}
 		dim = next
 	}
-	return &Descriptor{sizes: sizes, dim: dim, terms: terms}, nil
+	d := &Descriptor{sizes: sizes, dim: dim, terms: terms}
+	d.ws.New = func() any { return &Workspace{} }
+	return d, nil
 }
 
 // Dim returns the global state-space size (product of component sizes).
 func (d *Descriptor) Dim() int { return d.dim }
+
+// Dims returns the square global dimensions, matching spmat.CSR.Dims and
+// the markov.Operator surface.
+func (d *Descriptor) Dims() (r, c int) { return d.dim, d.dim }
 
 // Sizes returns the per-component dimensions, outermost first.
 func (d *Descriptor) Sizes() []int {
@@ -93,12 +117,89 @@ func (d *Descriptor) Sizes() []int {
 // NumTerms returns the number of Kronecker terms.
 func (d *Descriptor) NumTerms() int { return len(d.terms) }
 
-// modeVecMul computes the mode-k vector–matrix product of the tensorized
-// vector x with factor a: out[l, j, r] = Σ_i x[l, i, r]·a[i, j], where l
-// ranges over the product of dimensions before mode k and r after it.
-// out must be zeroed by the caller.
-func modeVecMul(out, x []float64, a *spmat.CSR, left, n, right int) {
-	for l := 0; l < left; l++ {
+// SetWorkers sets the parallel width of subsequent shuffle products:
+// each mode product splits race-free over disjoint tensor slabs (the
+// leading mode when it is wide enough, the trailing stride otherwise).
+// 0 or 1 keeps the products serial; descriptors below
+// spmat.ParallelCutoff stay serial regardless. Set once before the
+// descriptor is shared across goroutines — the width is read unlocked on
+// the multiply hot path.
+func (d *Descriptor) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.workers = n
+}
+
+// NNZ returns the stored entries across all factor matrices — the
+// descriptor's actual storage, as opposed to the global matrix's nnz.
+func (d *Descriptor) NNZ() int64 {
+	var n int64
+	for _, t := range d.terms {
+		for _, f := range t.Factors {
+			n += int64(f.NNZ())
+		}
+	}
+	return n
+}
+
+// MemoryBytes estimates the descriptor's heap footprint: the factor
+// matrices' CSR arrays. This is the matrix-memory number the cost
+// accounting reports for Kron-backed solves; compare it against the
+// materialized product's CSR.MemoryBytes to see the compression.
+func (d *Descriptor) MemoryBytes() int64 {
+	var b int64
+	for _, t := range d.terms {
+		for _, f := range t.Factors {
+			b += f.MemoryBytes()
+		}
+	}
+	return b
+}
+
+// OpsPerMul estimates the multiply-add count of one shuffle product:
+// Σ_t Σ_c nnz(F_c)·(dim/n_c). The cost layer attributes this as the
+// "entries touched" of each implicit SpMV, keeping effective-bandwidth
+// estimates meaningful for matrix-free solves.
+func (d *Descriptor) OpsPerMul() int64 {
+	var ops int64
+	for _, t := range d.terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		for c, f := range t.Factors {
+			ops += int64(f.NNZ()) * int64(d.dim/d.sizes[c])
+		}
+	}
+	return ops
+}
+
+// Workspace holds the two scratch vectors a shuffle product ping-pongs
+// between. The zero value is ready; buffers grow to the descriptor
+// dimension on first use and are reused afterwards, so a solver that
+// keeps a Workspace performs zero allocations per multiply. A Workspace
+// serves one multiply at a time — share descriptors, not workspaces.
+type Workspace struct {
+	cur, next []float64
+}
+
+// ensure sizes the scratch for an n-dimensional product, reusing capacity.
+func (w *Workspace) ensure(n int) {
+	if cap(w.cur) < n {
+		w.cur = make([]float64, n)
+		w.next = make([]float64, n)
+	}
+	w.cur = w.cur[:n]
+	w.next = w.next[:n]
+}
+
+// modeVecMulPart computes the mode-k vector–matrix product of the
+// tensorized vector x with factor a over the slab lo ≤ l < hi and the
+// stride window rlo ≤ r < rhi: out[l, j, r] += Σ_i x[l, i, r]·a[i, j].
+// Distinct (l-range, r-range) slabs write disjoint regions of out, which
+// is what makes the parallel split race-free.
+func modeVecMulPart(out, x []float64, a *spmat.CSR, n, right, lo, hi, rlo, rhi int) {
+	for l := lo; l < hi; l++ {
 		base := l * n * right
 		for i := 0; i < n; i++ {
 			cols, vals := a.Row(i)
@@ -112,8 +213,8 @@ func modeVecMul(out, x []float64, a *spmat.CSR, left, n, right int) {
 					continue
 				}
 				yj := base + j*right
-				xr := x[xi : xi+right]
-				yr := out[yj : yj+right]
+				xr := x[xi+rlo : xi+rhi]
+				yr := out[yj+rlo : yj+rhi]
 				for r := range xr {
 					yr[r] += v * xr[r]
 				}
@@ -122,17 +223,114 @@ func modeVecMul(out, x []float64, a *spmat.CSR, left, n, right int) {
 	}
 }
 
-// VecMul computes y = x·P where P is the descriptor's implicit matrix.
-// y must have length Dim and may not alias x.
-func (d *Descriptor) VecMul(y, x []float64) {
-	if len(x) != d.dim || len(y) != d.dim {
-		panic("kron: VecMul dimension mismatch")
+// modeMulVecPart is the matrix–vector twin: out[l, i, r] += Σ_j
+// a[i, j]·x[l, j, r], the mode-k product of y = P·x.
+func modeMulVecPart(out, x []float64, a *spmat.CSR, n, right, lo, hi, rlo, rhi int) {
+	for l := lo; l < hi; l++ {
+		base := l * n * right
+		for i := 0; i < n; i++ {
+			cols, vals := a.Row(i)
+			if len(cols) == 0 {
+				continue
+			}
+			yi := base + i*right
+			for kk, j := range cols {
+				v := vals[kk]
+				if v == 0 {
+					continue
+				}
+				xj := base + j*right
+				xr := x[xj+rlo : xj+rhi]
+				yr := out[yi+rlo : yi+rhi]
+				for r := range xr {
+					yr[r] += v * xr[r]
+				}
+			}
+		}
 	}
+}
+
+// partFunc is the signature shared by modeVecMulPart and modeMulVecPart.
+type partFunc func(out, x []float64, a *spmat.CSR, n, right, lo, hi, rlo, rhi int)
+
+// pickPart selects the mode-product kernel. Returning the func (rather
+// than reassigning a local that goroutine closures later capture) keeps
+// the serial path allocation-free: a captured-and-mutated func variable
+// would be moved to the heap on every call.
+func pickPart(vecMul bool) partFunc {
+	if vecMul {
+		return modeVecMulPart
+	}
+	return modeMulVecPart
+}
+
+// modeProduct dispatches one mode product, splitting it across the
+// descriptor's worker width when the tensor shape offers enough
+// race-free slabs: the leading (left) mode partitions whole blocks, the
+// trailing stride partitions the innermost contiguous runs. Small
+// descriptors and width ≤ 1 stay on the serial path.
+func (d *Descriptor) modeProduct(vecMul bool, out, x []float64, a *spmat.CSR, left, n, right int) {
+	part := pickPart(vecMul)
+	w := d.workers
+	if w > left {
+		w = left
+	}
+	if left < 2 && right >= 2 {
+		w = d.workers
+		if w > right {
+			w = right
+		}
+		if w > 1 && d.dim >= spmat.ParallelCutoff {
+			var wg sync.WaitGroup
+			chunk := (right + w - 1) / w
+			for rlo := 0; rlo < right; rlo += chunk {
+				rhi := rlo + chunk
+				if rhi > right {
+					rhi = right
+				}
+				wg.Add(1)
+				go func(rlo, rhi int) {
+					defer wg.Done()
+					part(out, x, a, n, right, 0, left, rlo, rhi)
+				}(rlo, rhi)
+			}
+			wg.Wait()
+			return
+		}
+		part(out, x, a, n, right, 0, left, 0, right)
+		return
+	}
+	if w > 1 && d.dim >= spmat.ParallelCutoff {
+		var wg sync.WaitGroup
+		chunk := (left + w - 1) / w
+		for lo := 0; lo < left; lo += chunk {
+			hi := lo + chunk
+			if hi > left {
+				hi = left
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				part(out, x, a, n, right, lo, hi, 0, right)
+			}(lo, hi)
+		}
+		wg.Wait()
+		return
+	}
+	part(out, x, a, n, right, 0, left, 0, right)
+}
+
+// mul runs the full shuffle evaluation of y = x·P (vecMul) or y = P·x
+// into y using ws scratch.
+func (d *Descriptor) mul(vecMul bool, ws *Workspace, y, x []float64) {
+	if len(x) != d.dim || len(y) != d.dim {
+		panic("kron: multiply dimension mismatch")
+	}
+	ws.ensure(d.dim)
+	cur, next := ws.cur, ws.next
 	for i := range y {
 		y[i] = 0
 	}
-	cur := make([]float64, d.dim)
-	next := make([]float64, d.dim)
 	for _, t := range d.terms {
 		if t.Coeff == 0 {
 			continue
@@ -146,12 +344,152 @@ func (d *Descriptor) VecMul(y, x []float64) {
 			for i := range next {
 				next[i] = 0
 			}
-			modeVecMul(next, cur, f, left, n, right)
+			d.modeProduct(vecMul, next, cur, f, left, n, right)
 			cur, next = next, cur
 			left *= n
 		}
+		coeff := t.Coeff
 		for i := range y {
-			y[i] += t.Coeff * cur[i]
+			y[i] += coeff * cur[i]
+		}
+	}
+	ws.cur, ws.next = cur, next
+}
+
+// VecMulWs computes y = x·P with caller-owned scratch: the zero-alloc
+// form every solver loop uses. y must have length Dim and not alias x.
+func (d *Descriptor) VecMulWs(ws *Workspace, y, x []float64) { d.mul(true, ws, y, x) }
+
+// MulVecWs computes y = P·x with caller-owned scratch.
+func (d *Descriptor) MulVecWs(ws *Workspace, y, x []float64) { d.mul(false, ws, y, x) }
+
+// VecMul computes y = x·P where P is the descriptor's implicit matrix.
+// y must have length Dim and may not alias x. Scratch comes from an
+// internal pool, so repeated calls allocate nothing after warmup;
+// solvers that multiply in a tight loop should hold a Workspace and call
+// VecMulWs to skip the pool round-trip entirely.
+func (d *Descriptor) VecMul(y, x []float64) {
+	ws := d.ws.Get().(*Workspace)
+	d.mul(true, ws, y, x)
+	d.ws.Put(ws)
+}
+
+// MulVec computes y = P·x — the column-action the flux measures and the
+// restriction operators need. Same scratch discipline as VecMul.
+func (d *Descriptor) MulVec(y, x []float64) {
+	ws := d.ws.Get().(*Workspace)
+	d.mul(false, ws, y, x)
+	d.ws.Put(ws)
+}
+
+// kronExpand accumulates coeff·(v₁ ⊗ v₂ ⊗ … ⊗ v_C) into out, where the
+// outer product is taken outermost-first — the expansion both Diag and
+// RowSums reduce to, since both are Kronecker-factorizable per term.
+func kronExpand(out []float64, coeff float64, vecs [][]float64) {
+	cur := []float64{coeff}
+	for _, v := range vecs {
+		next := make([]float64, len(cur)*len(v))
+		for a, ca := range cur {
+			if ca == 0 {
+				continue
+			}
+			base := a * len(v)
+			for b, vb := range v {
+				next[base+b] = ca * vb
+			}
+		}
+		cur = next
+	}
+	for i := range out {
+		out[i] += cur[i]
+	}
+}
+
+// Diag returns the implicit matrix's diagonal: per term, the diagonal of
+// a Kronecker product is the Kronecker product of the factor diagonals.
+// The slice is freshly allocated (call once per solve, as the Jacobi
+// splitting does).
+func (d *Descriptor) Diag() []float64 {
+	out := make([]float64, d.dim)
+	vecs := make([][]float64, len(d.sizes))
+	for _, t := range d.terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		for c, f := range t.Factors {
+			vecs[c] = f.Diag()
+		}
+		kronExpand(out, t.Coeff, vecs)
+	}
+	return out
+}
+
+// RowSums returns the implicit matrix's row sums — the Kronecker product
+// of the factor row sums, summed over terms. A stochastic descriptor
+// returns the all-ones vector (to rounding), which is how the operator
+// backend validates stochasticity without materializing anything.
+func (d *Descriptor) RowSums() []float64 {
+	out := make([]float64, d.dim)
+	vecs := make([][]float64, len(d.sizes))
+	for _, t := range d.terms {
+		if t.Coeff == 0 {
+			continue
+		}
+		for c, f := range t.Factors {
+			vecs[c] = f.RowSums()
+		}
+		kronExpand(out, t.Coeff, vecs)
+	}
+	return out
+}
+
+// RowIter enumerates single rows of the implicit matrix without
+// materializing it — the access pattern the multigrid restriction uses
+// to lump an implicit fine level into an explicit coarse matrix. Create
+// one per traversal; after the first row, Row performs no allocations
+// (the visit closure should likewise be hoisted outside the row loop).
+// A RowIter is not safe for concurrent use.
+type RowIter struct {
+	d      *Descriptor
+	digits []int
+}
+
+// NewRowIter returns a row enumerator for the descriptor.
+func (d *Descriptor) NewRowIter() *RowIter {
+	return &RowIter{d: d, digits: make([]int, len(d.sizes))}
+}
+
+// Row calls visit for every stored entry of row i, as (column, value)
+// pairs. Columns may repeat across terms (the implicit matrix entry is
+// the sum); callers accumulate.
+func (it *RowIter) Row(i int, visit func(col int, v float64)) {
+	d := it.d
+	if i < 0 || i >= d.dim {
+		panic("kron: row index out of range")
+	}
+	rem := i
+	for c := len(d.sizes) - 1; c >= 0; c-- {
+		it.digits[c] = rem % d.sizes[c]
+		rem /= d.sizes[c]
+	}
+	for ti := range d.terms {
+		t := &d.terms[ti]
+		if t.Coeff != 0 {
+			it.expand(t, 0, 0, t.Coeff, visit)
+		}
+	}
+}
+
+func (it *RowIter) expand(t *Term, c, col int, prod float64, visit func(col int, v float64)) {
+	if c == len(it.d.sizes) {
+		visit(col, prod)
+		return
+	}
+	cols, vals := t.Factors[c].Row(it.digits[c])
+	n := it.d.sizes[c]
+	for k, j := range cols {
+		if v := vals[k]; v != 0 {
+			it.expand(t, c+1, col*n+j, prod*v, visit)
 		}
 	}
 }
@@ -160,28 +498,9 @@ func (d *Descriptor) VecMul(y, x []float64) {
 // for tests and small models; the memory cost is the full global nnz.
 func (d *Descriptor) ToCSR() *spmat.CSR {
 	tr := spmat.NewTriplet(d.dim, d.dim)
-	// Expand each term by depth-first enumeration of factor entries.
-	var expand func(t Term, c, row, col int, prod float64)
-	expand = func(t Term, c, row, col int, prod float64) {
-		if c == len(t.Factors) {
-			tr.Add(row, col, prod)
-			return
-		}
-		n := d.sizes[c]
-		for i := 0; i < n; i++ {
-			cols, vals := t.Factors[c].Row(i)
-			for k, j := range cols {
-				if vals[k] == 0 {
-					continue
-				}
-				expand(t, c+1, row*n+i, col*n+j, prod*vals[k])
-			}
-		}
-	}
-	for _, t := range d.terms {
-		if t.Coeff != 0 {
-			expand(t, 0, 0, 0, t.Coeff)
-		}
+	it := d.NewRowIter()
+	for i := 0; i < d.dim; i++ {
+		it.Row(i, func(j int, v float64) { tr.Add(i, j, v) })
 	}
 	return tr.ToCSR()
 }
@@ -211,54 +530,4 @@ func Kron(a, b *spmat.CSR) *spmat.CSR {
 		}
 	}
 	return tr.ToCSR()
-}
-
-// StationaryPower computes the stationary distribution of a stochastic
-// descriptor by damped power iteration without materializing the matrix.
-// It returns the iterate, the iteration count and the final ‖xP − x‖₁.
-func (d *Descriptor) StationaryPower(tol float64, maxIter int, damping float64) ([]float64, int, float64) {
-	if tol <= 0 {
-		tol = 1e-12
-	}
-	if maxIter <= 0 {
-		maxIter = 100000
-	}
-	if damping <= 0 || damping > 1 {
-		damping = 1
-	}
-	n := d.dim
-	x := make([]float64, n)
-	for i := range x {
-		x[i] = 1 / float64(n)
-	}
-	y := make([]float64, n)
-	var it int
-	var resid float64
-	for it = 1; it <= maxIter; it++ {
-		d.VecMul(y, x)
-		resid = 0
-		sum := 0.0
-		for i := range x {
-			r := y[i] - x[i]
-			if r < 0 {
-				r = -r
-			}
-			resid += r
-			x[i] = damping*y[i] + (1-damping)*x[i]
-			sum += x[i]
-		}
-		if sum > 0 {
-			inv := 1 / sum
-			for i := range x {
-				x[i] *= inv
-			}
-		}
-		if resid <= tol {
-			break
-		}
-	}
-	if it > maxIter {
-		it = maxIter
-	}
-	return x, it, resid
 }

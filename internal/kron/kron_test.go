@@ -169,10 +169,14 @@ func TestDescriptorOfProductChain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pi, _, resid := d.StationaryPower(1e-13, 100000, 1)
-	if resid > 1e-12 {
-		t.Fatalf("power residual %g", resid)
+	res, err := d.StationaryPower(PowerOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
 	}
+	if res.Residual > 1e-12 {
+		t.Fatalf("power residual %g", res.Residual)
+	}
+	pi := res.Pi
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 4; j++ {
 			want := piA[i] * piB[j]

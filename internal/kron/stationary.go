@@ -1,0 +1,122 @@
+package kron
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PowerOptions configures a damped power-iteration stationary solve on
+// the implicit matrix. The zero value selects the defaults.
+type PowerOptions struct {
+	// Tol is the convergence threshold on ‖xP − x‖₁. Default 1e-12.
+	Tol float64
+	// MaxIter bounds the iteration count. Default 100000.
+	MaxIter int
+	// Damping is the factor α in x ← α·xP + (1−α)·x; 1 (undamped) by
+	// default. Damping below 1 makes the iteration converge on periodic
+	// chains.
+	Damping float64
+	// Ctx, when non-nil, is checked at every sweep boundary — the same
+	// cadence as the markov power/Jacobi/GS/GMRES loops — so watchdog
+	// cancel-on-stall and request deadlines reach Kron solves too. A
+	// canceled context stops the solve with a partial-progress error
+	// wrapping ctx.Err(). Nil never cancels.
+	Ctx context.Context
+	// X0 is the initial distribution; uniform when nil.
+	X0 []float64
+	// Ws supplies the shuffle scratch, reused across sweeps and — when
+	// the caller keeps it — across solves. Nil uses a private workspace.
+	Ws *Workspace
+}
+
+func (o PowerOptions) withDefaults() PowerOptions {
+	if o.Tol <= 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 100000
+	}
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 1
+	}
+	if o.Ws == nil {
+		o.Ws = &Workspace{}
+	}
+	return o
+}
+
+// PowerResult reports a power-iteration solve.
+type PowerResult struct {
+	// Pi is the final iterate. On an ErrUnconverged return it is the
+	// best (non-converged) iterate, so postmortems can inspect it.
+	Pi []float64
+	// Iterations is the number of sweeps performed.
+	Iterations int
+	// Residual is the final ‖xP − x‖₁.
+	Residual float64
+	// Converged reports whether Residual ≤ Tol was reached.
+	Converged bool
+}
+
+// StationaryPower computes the stationary distribution of a stochastic
+// descriptor by damped power iteration without materializing the matrix.
+// A solve that exhausts MaxIter returns the iterate together with an
+// error wrapping ErrUnconverged (which core.ErrUnconverged aliases), and
+// a canceled context returns a partial-progress error wrapping ctx.Err()
+// — the same contract as every markov solver.
+func (d *Descriptor) StationaryPower(opt PowerOptions) (PowerResult, error) {
+	opt = opt.withDefaults()
+	n := d.dim
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return PowerResult{}, fmt.Errorf("kron: X0 length %d, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	} else {
+		for i := range x {
+			x[i] = 1 / float64(n)
+		}
+	}
+	y := make([]float64, n)
+	res := PowerResult{}
+	a := opt.Damping
+	for it := 1; it <= opt.MaxIter; it++ {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				res.Pi = x
+				return res, fmt.Errorf("kron: power solve stopped after %d sweeps (residual %.3e): %w",
+					res.Iterations, res.Residual, err)
+			}
+		}
+		d.VecMulWs(opt.Ws, y, x)
+		r := 0.0
+		sum := 0.0
+		for i := range x {
+			r += math.Abs(y[i] - x[i])
+			x[i] = a*y[i] + (1-a)*x[i]
+			sum += x[i]
+		}
+		if sum <= 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+			return PowerResult{}, errors.New("kron: iterate lost probability mass")
+		}
+		inv := 1 / sum
+		for i := range x {
+			x[i] *= inv
+		}
+		res.Iterations = it
+		res.Residual = r
+		if r <= opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Pi = x
+	if !res.Converged {
+		return res, fmt.Errorf("kron: power %w after %d sweeps (residual %.3e)",
+			ErrUnconverged, res.Iterations, res.Residual)
+	}
+	return res, nil
+}

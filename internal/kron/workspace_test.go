@@ -1,0 +1,216 @@
+package kron
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cdrstoch/internal/spmat"
+)
+
+// The VecMul workspace fix is pinned by this test: after one warmup
+// multiply, neither the Workspace forms nor the pooled convenience forms
+// may allocate per call.
+func TestShuffleProductsAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	d, err := NewDescriptor([]Term{
+		{Coeff: 0.5, Factors: []*spmat.CSR{
+			randomStochasticCSR(3, rng), randomStochasticCSR(4, rng), randomStochasticCSR(5, rng),
+		}},
+		{Coeff: 0.5, Factors: []*spmat.CSR{
+			randomStochasticCSR(3, rng), randomStochasticCSR(4, rng), randomStochasticCSR(5, rng),
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, d.Dim())
+	y := make([]float64, d.Dim())
+	for i := range x {
+		x[i] = 1 / float64(len(x))
+	}
+	var ws Workspace
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"VecMulWs", func() { d.VecMulWs(&ws, y, x) }},
+		{"MulVecWs", func() { d.MulVecWs(&ws, y, x) }},
+		{"VecMul", func() { d.VecMul(y, x) }},
+		{"MulVec", func() { d.MulVec(y, x) }},
+	}
+	for _, tc := range cases {
+		tc.f() // warmup: grow scratch once
+		if allocs := testing.AllocsPerRun(20, tc.f); allocs != 0 {
+			t.Errorf("%s: %v allocs per call after warmup", tc.name, allocs)
+		}
+	}
+}
+
+// Row enumeration is allocation-free after the first row, which is what
+// keeps the multigrid coarse refresh cycle-allocation-free.
+func TestRowIterAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d, err := NewDescriptor([]Term{
+		{Coeff: 1, Factors: []*spmat.CSR{randomStochasticCSR(4, rng), randomStochasticCSR(6, rng)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	it := d.NewRowIter()
+	sum := 0.0
+	visit := func(_ int, v float64) { sum += v }
+	it.Row(0, visit)
+	if allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < d.Dim(); i++ {
+			it.Row(i, visit)
+		}
+	}); allocs != 0 {
+		t.Errorf("RowIter.Row: %v allocs per sweep", allocs)
+	}
+}
+
+// Parallel shuffle products must agree with the serial evaluation and be
+// race-free under concurrent use of one shared descriptor (run under
+// -race in ci).
+func TestParallelShuffleMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	// Wide innermost factor so the right-stride split engages, and a wide
+	// outermost so the left-slab split engages; dimension beyond the
+	// parallel cutoff.
+	a := randomStochasticCSR(8, rng)
+	b := randomStochasticCSR(8, rng)
+	c := randomStochasticCSR(512, rng)
+	serial, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{a, b, c}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{a, b, c}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel.SetWorkers(4)
+	if parallel.Dim() < spmat.ParallelCutoff {
+		t.Fatalf("test descriptor below parallel cutoff: %d", parallel.Dim())
+	}
+	x := make([]float64, serial.Dim())
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	for name, pair := range map[string]func(d *Descriptor, y []float64){
+		"VecMul": func(d *Descriptor, y []float64) { d.VecMul(y, x) },
+		"MulVec": func(d *Descriptor, y []float64) { d.MulVec(y, x) },
+	} {
+		want := make([]float64, serial.Dim())
+		pair(serial, want)
+		var wg sync.WaitGroup
+		errs := make([]int, 4)
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				got := make([]float64, parallel.Dim())
+				pair(parallel, got)
+				for i := range got {
+					if math.Abs(got[i]-want[i]) > 1e-12 {
+						errs[g]++
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		for g, n := range errs {
+			if n > 0 {
+				t.Fatalf("%s: goroutine %d saw %d mismatches vs serial", name, g, n)
+			}
+		}
+	}
+}
+
+// Diag, RowSums and RowIter are the structural surface the operator
+// backend and the multigrid restriction rely on; all must agree with the
+// materialized matrix.
+func TestStructuralSurfaceMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 5; trial++ {
+		nt := 1 + rng.Intn(3)
+		terms := make([]Term, nt)
+		for ti := range terms {
+			terms[ti] = Term{Coeff: rng.NormFloat64(), Factors: []*spmat.CSR{
+				randomCSR(3, 3, 0.6, rng), randomCSR(4, 4, 0.6, rng),
+			}}
+		}
+		d, err := NewDescriptor(terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := d.ToCSR()
+		diag := d.Diag()
+		sums := d.RowSums()
+		refSums := m.RowSums()
+		for i := 0; i < d.Dim(); i++ {
+			if math.Abs(diag[i]-m.At(i, i)) > 1e-12 {
+				t.Fatalf("trial %d: diag[%d] = %g, want %g", trial, i, diag[i], m.At(i, i))
+			}
+			if math.Abs(sums[i]-refSums[i]) > 1e-12 {
+				t.Fatalf("trial %d: rowsum[%d] = %g, want %g", trial, i, sums[i], refSums[i])
+			}
+		}
+		it := d.NewRowIter()
+		row := make([]float64, d.Dim())
+		for i := 0; i < d.Dim(); i++ {
+			for j := range row {
+				row[j] = 0
+			}
+			it.Row(i, func(j int, v float64) { row[j] += v })
+			for j := range row {
+				if math.Abs(row[j]-m.At(i, j)) > 1e-12 {
+					t.Fatalf("trial %d: row %d col %d = %g, want %g", trial, i, j, row[j], m.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// A canceled context stops the power solve at the next sweep boundary
+// with a partial-progress error wrapping ctx.Err (the repo-wide sweep
+// cadence convention).
+func TestStationaryPowerCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	d, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{randomStochasticCSR(6, rng)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := d.StationaryPower(PowerOptions{Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Pi) != d.Dim() {
+		t.Fatal("no partial iterate returned")
+	}
+}
+
+// An exhausted iteration budget returns the best iterate AND the wrapped
+// sentinel — the silent-nonconvergence bug this PR fixes.
+func TestStationaryPowerUnconverged(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	d, err := NewDescriptor([]Term{{Coeff: 1, Factors: []*spmat.CSR{randomStochasticCSR(8, rng)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.StationaryPower(PowerOptions{Tol: 1e-16, MaxIter: 2})
+	if err == nil {
+		t.Fatal("2-sweep solve reported success")
+	}
+	if !errors.Is(err, ErrUnconverged) {
+		t.Fatalf("err = %v, want ErrUnconverged", err)
+	}
+	if res.Converged || res.Iterations != 2 || len(res.Pi) != d.Dim() {
+		t.Fatalf("partial result %+v", res)
+	}
+}

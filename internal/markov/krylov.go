@@ -86,7 +86,7 @@ func (c *Chain) StationaryGMRES(opt GMRESOptions) (Result, error) {
 	ws.ensure(n)
 	pool := ws.team(opt.Workers)
 	apply := func(dst, x []float64) {
-		pool.VecMul(c.p, dst, x) // dst = x·P
+		c.vecMul(pool, dst, x) // dst = x·P
 		s := 0.0
 		for i := range x {
 			s += x[i]

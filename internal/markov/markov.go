@@ -47,9 +47,17 @@ func meterSolve(ctx context.Context, pool *spmat.Pool, res *Result) func() {
 	}
 }
 
-// Chain is a finite discrete-time Markov chain.
+// Chain is a finite discrete-time Markov chain over an abstract
+// transition operator: explicit CSR chains (New) carry the matrix and
+// support every solver and structural analysis; matrix-free chains
+// (NewOperator) carry only the operator and run the operator-capable
+// iterations.
 type Chain struct {
-	p *spmat.CSR
+	p  *spmat.CSR // non-nil only for the explicit backend
+	op Operator   // always non-nil; equals p for explicit chains
+	// opsPerMul is the matrix-free backend's per-product work estimate
+	// for cost accounting; 0 when the backend does not report one.
+	opsPerMul int
 }
 
 // New validates P as a row-stochastic matrix and wraps it in a Chain.
@@ -57,22 +65,35 @@ func New(p *spmat.CSR) (*Chain, error) {
 	if err := p.CheckStochastic(1e-9); err != nil {
 		return nil, err
 	}
-	return &Chain{p: p}, nil
+	return &Chain{p: p, op: p}, nil
 }
 
-// P returns the transition probability matrix.
+// P returns the transition probability matrix; nil for a matrix-free
+// chain (NewOperator), whose transitions exist only through Operator.
 func (c *Chain) P() *spmat.CSR { return c.p }
+
+// Operator returns the chain's transition operator (the CSR itself for
+// explicit chains).
+func (c *Chain) Operator() Operator { return c.op }
 
 // N returns the number of states.
 func (c *Chain) N() int {
-	n, _ := c.p.Dims()
+	n, _ := c.op.Dims()
 	return n
 }
 
 // transpose returns Pᵀ through the matrix-owned cache (spmat.CSR.T): the
 // column-sweep solvers here and the parallel gather kernels share one
 // transpose per matrix. Safe because a Chain's matrix is never mutated.
-func (c *Chain) transpose() *spmat.CSR { return c.p.T() }
+// Only the explicit backend has a transpose; operator-backed chains must
+// never reach here (their solvers use the splitting identity
+// Σ_{j≠i} P_ji x_j = (x·P)_i − P_ii·x_i instead).
+func (c *Chain) transpose() *spmat.CSR {
+	if c.p == nil {
+		panic("markov: transpose requires an explicit CSR backend")
+	}
+	return c.p.T()
+}
 
 // Uniform returns the uniform distribution over the chain's states.
 func (c *Chain) Uniform() []float64 {
@@ -90,7 +111,7 @@ func (c *Chain) Step(dst, x []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, c.N())
 	}
-	c.p.VecMul(dst, x)
+	c.op.VecMul(dst, x)
 	return dst
 }
 
@@ -102,7 +123,7 @@ func (c *Chain) Residual(x []float64) float64 {
 // residualInto computes ‖x·P − x‖₁ using scratch y and the given team —
 // the allocation-free form the sweep loops call once per iteration.
 func (c *Chain) residualInto(pool *spmat.Pool, y, x []float64) float64 {
-	pool.VecMul(c.p, y, x)
+	c.vecMul(pool, y, x)
 	r := 0.0
 	for i := range x {
 		r += math.Abs(y[i] - x[i])
@@ -296,7 +317,7 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 			res.Pi = x
 			return res, err
 		}
-		pool.VecMul(c.p, y, x)
+		c.vecMul(pool, y, x)
 		r := 0.0
 		a := opt.Damping
 		for i := range x {
@@ -325,15 +346,18 @@ func (c *Chain) StationaryPower(opt Options) (Result, error) {
 // Jacobi / JOR) restores convergence and is recommended.
 func (c *Chain) StationaryJacobi(opt Options) (Result, error) {
 	opt = opt.withDefaults(c.N())
-	ws := opt.workspace(c.N())
-	pool := ws.team(opt.Workers)
-	pt := c.transpose()
-	diag := c.p.Diag()
+	diag := c.op.Diag()
 	for i, d := range diag {
 		if d >= 1 {
 			return Result{}, fmt.Errorf("markov: absorbing state %d, Jacobi splitting undefined", i)
 		}
 	}
+	if c.p == nil {
+		return c.stationaryJacobiOp(opt, diag)
+	}
+	ws := opt.workspace(c.N())
+	pool := ws.team(opt.Workers)
+	pt := c.transpose()
 	x, err := c.initial(opt)
 	if err != nil {
 		return Result{}, err
@@ -402,10 +426,56 @@ func (s *jacobiSweep) rows(_, lo, hi int) {
 	}
 }
 
+// stationaryJacobiOp is the Jacobi sweep for operator-backed chains. A
+// matrix-free backend has no transpose, but none is needed: the off-
+// diagonal column sum the splitting wants is recovered from the full
+// product, Σ_{j≠i} P_ji·x_j = (x·P)_i − P_ii·x_i, so one VecMul plus the
+// cached diagonal drives each sweep. The update reads x[i] and y[i] only
+// at index i, so it runs in place on x.
+func (c *Chain) stationaryJacobiOp(opt Options, diag []float64) (Result, error) {
+	ws := opt.workspace(c.N())
+	pool := ws.team(opt.Workers)
+	x, err := c.initial(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	y := ws.y
+	res := Result{}
+	a := opt.Damping
+	endSpan := obs.StartSpan(opt.Trace, "jacobi")
+	defer endSpan()
+	defer meterSolve(opt.Ctx, pool, &res)()
+	for it := 1; it <= opt.MaxIter; it++ {
+		if err := opt.ctxErr("jacobi", res.Iterations, res.Residual); err != nil {
+			res.Pi = x
+			return res, err
+		}
+		c.vecMul(pool, y, x)
+		for i := range x {
+			x[i] = a*(y[i]-diag[i]*x[i])/(1-diag[i]) + (1-a)*x[i]
+		}
+		if err := normalize(x); err != nil {
+			return Result{}, err
+		}
+		res.Iterations = it
+		res.Residual = c.residualInto(pool, ws.r, x)
+		obs.IterEvent(opt.Trace, "jacobi", it, res.Residual)
+		if res.Residual <= opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+	res.Pi = x
+	return res, nil
+}
+
 // StationaryGaussSeidel computes the stationary distribution with forward
 // Gauss–Seidel sweeps on (I − Pᵀ)x = 0, optionally over-relaxed (SOR) via
 // Options.Omega.
 func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
+	if c.p == nil {
+		return Result{}, errors.New("markov: Gauss-Seidel requires an explicit CSR backend")
+	}
 	opt = opt.withDefaults(c.N())
 	ws := opt.workspace(c.N())
 	pool := ws.team(opt.Workers)
@@ -461,5 +531,8 @@ func (c *Chain) StationaryGaussSeidel(opt Options) (Result, error) {
 // subtraction-free GTH algorithm. Intended for small chains (it densifies
 // the TPM); it is exact to rounding and preserves tiny tail masses.
 func (c *Chain) StationaryDirect() ([]float64, error) {
+	if c.p == nil {
+		return nil, errors.New("markov: direct GTH solve requires an explicit CSR backend")
+	}
 	return spmat.StationaryGTHCSR(c.p)
 }

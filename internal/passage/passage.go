@@ -316,6 +316,47 @@ func SlipFlux(p *spmat.CSR, pi []float64, target []bool) (FluxResult, error) {
 	return res, nil
 }
 
+// MulVecer is the column action y = P·x — the one operation the flux
+// measure needs from a transition backend. Both *spmat.CSR and the
+// matrix-free kron.Descriptor satisfy it.
+type MulVecer interface {
+	MulVec(y, x []float64)
+}
+
+// SlipFluxOp is SlipFlux for an implicit transition operator: the per-row
+// target mass Σ_{j∈T} P_ij is a single column action on the target's
+// indicator vector, so the flux of a matrix-free chain costs one shuffle
+// product instead of a materialized matrix.
+func SlipFluxOp(p MulVecer, pi []float64, target []bool) (FluxResult, error) {
+	n := len(pi)
+	if len(target) != n {
+		return FluxResult{}, errors.New("passage: dimension mismatch")
+	}
+	ind := make([]float64, n)
+	for i, t := range target {
+		if t {
+			ind[i] = 1
+		}
+	}
+	rowMass := make([]float64, n)
+	p.MulVec(rowMass, ind)
+	var res FluxResult
+	for i := 0; i < n; i++ {
+		if target[i] {
+			res.TargetMass += pi[i]
+			continue
+		}
+		res.OutsideMass += pi[i]
+		res.Flux += pi[i] * rowMass[i]
+	}
+	if res.Flux > 0 {
+		res.MeanTimeBetween = res.OutsideMass / res.Flux
+	} else {
+		res.MeanTimeBetween = math.Inf(1)
+	}
+	return res, nil
+}
+
 // ExpectedVisitsDense returns the fundamental matrix N = (I − Q)⁻¹ of the
 // chain absorbed on target: N[i][j] is the expected number of visits to
 // non-target state j before absorption when starting at non-target state

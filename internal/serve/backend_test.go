@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+// TestAnalyzeKronBackendParity drives /v1/analyze end to end through
+// both solve backends and pins the contract the matrix-free path makes:
+// numerically matching results, distinct cache namespaces, and SpMV
+// counts attributed to the request in the X-Solve-Cost-* headers.
+func TestAnalyzeKronBackendParity(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerConfig{})
+	spec := testSpec(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: spec})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit solve: %d %s", resp.StatusCode, body)
+	}
+	var explicit AnalyzeBody
+	if err := json.Unmarshal(body, &explicit); err != nil {
+		t.Fatal(err)
+	}
+
+	kresp, kbody := postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: spec, Backend: "kron"})
+	if kresp.StatusCode != http.StatusOK {
+		t.Fatalf("kron solve: %d %s", kresp.StatusCode, kbody)
+	}
+	// Distinct cache namespace: the kron request must have solved, not hit
+	// the explicit request's entry.
+	if got := kresp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("kron request X-Cache = %q, want miss", got)
+	}
+	var kron AnalyzeBody
+	if err := json.Unmarshal(kbody, &kron); err != nil {
+		t.Fatal(err)
+	}
+	if !kron.Converged {
+		t.Fatal("kron solve did not converge")
+	}
+	if kron.States != explicit.States || kron.SpecKey != explicit.SpecKey {
+		t.Fatalf("identity mismatch: explicit %+v vs kron %+v", explicit, kron)
+	}
+	if d := kron.BER - explicit.BER; d > 1e-10 || d < -1e-10 {
+		t.Fatalf("BER: explicit %g vs kron %g", explicit.BER, kron.BER)
+	}
+	if d := kron.Slip.Flux - explicit.Slip.Flux; d > 1e-10 || d < -1e-10 {
+		t.Fatalf("slip flux: explicit %g vs kron %g", explicit.Slip.Flux, kron.Slip.Flux)
+	}
+
+	// Cost attribution: the matrix-free solve is made of SpMVs and must
+	// report them on the wire.
+	if got := kresp.Header.Get("X-Solve-Cost-Cache"); got != "miss" {
+		t.Fatalf("X-Solve-Cost-Cache = %q, want miss", got)
+	}
+	spmvs, err := strconv.ParseInt(kresp.Header.Get("X-Solve-Cost-Spmvs"), 10, 64)
+	if err != nil || spmvs <= 0 {
+		t.Fatalf("X-Solve-Cost-Spmvs = %q (err %v), want positive", kresp.Header.Get("X-Solve-Cost-Spmvs"), err)
+	}
+	if got := kresp.Header.Get("X-Solve-Cost-States"); got != strconv.Itoa(explicit.States) {
+		t.Fatalf("X-Solve-Cost-States = %q, want %d", got, explicit.States)
+	}
+
+	// Same spec + backend again: cache hit in the kron namespace.
+	hresp, hbody := postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: spec, Backend: "kron"})
+	if got := hresp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("repeat kron request X-Cache = %q, want hit", got)
+	}
+	if string(hbody) != string(kbody) {
+		t.Fatal("cached kron body differs from original")
+	}
+}
+
+// The backend field is validated, and /v1/slip refuses it outright (its
+// quasi-stationary refinement needs the explicit matrix).
+func TestBackendValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, ServerConfig{})
+	spec := testSpec(t)
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: spec, Backend: "dense"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown backend: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/slip", solveRequest{Spec: spec, Backend: "kron"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("slip with backend: %d %s", resp.StatusCode, body)
+	}
+	// "explicit" is the spelled-out default and works everywhere analyze
+	// accepts a backend.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", solveRequest{Spec: spec, Backend: "explicit"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit backend: %d %s", resp.StatusCode, body)
+	}
+}

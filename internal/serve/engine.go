@@ -271,14 +271,36 @@ func (e *Engine) trackProgress(ctx context.Context, endpoint, key string) (conte
 	}
 }
 
+// Solve backends selectable in the request envelope. The empty string
+// and "explicit" assemble the product TPM; "kron" never forms it and
+// solves through the Kronecker-descriptor operator instead.
+const (
+	backendExplicit = "explicit"
+	backendKron     = "kron"
+)
+
+// validBackend maps an envelope backend string to ErrBadRequest when it
+// names no known solve backend.
+func validBackend(backend string) error {
+	switch backend {
+	case "", backendExplicit, backendKron:
+		return nil
+	}
+	return badRequestf("unknown backend %q (want %q or %q)", backend, backendExplicit, backendKron)
+}
+
 // solve builds the model and runs the stationary analysis under ctx.
+// backend selects the transition representation: explicit CSR (the
+// default) or the matrix-free Kronecker descriptor, which never
+// assembles the product matrix — the build stage then runs BuildShell
+// and the solve stage the implicit-fine-level multigrid.
 // Both stages record latency histograms (serve.build_ms, serve.solve_ms)
 // and emit trace-stamped spans, so per-request traces and the flight
 // recorder see the engine stages alongside the solver's own events. The
 // stages additionally run under pprof labels (endpoint, spec, stage), so
 // CPU profiles of a busy server attribute samples to the spec being
 // solved, not just to "the solver".
-func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint string) (m *core.Model, a *core.Analysis, err error) {
+func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint, backend string) (m *core.Model, a *core.Analysis, err error) {
 	if err := e.acquire(ctx); err != nil {
 		return nil, nil, err
 	}
@@ -295,7 +317,11 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint string
 	buildStart := time.Now()
 	endBuild := obs.StartSpan(tr, "serve.build")
 	pprof.Do(ctx, pprof.Labels("endpoint", endpoint, "spec", shortKey(key), "stage", "build"), func(ctx context.Context) {
-		m, err = core.Build(spec)
+		if backend == backendKron {
+			m, err = core.BuildShell(spec)
+		} else {
+			m, err = core.Build(spec)
+		}
 	})
 	endBuild()
 	e.reg.Histogram("serve.build_ms").Observe(ms(time.Since(buildStart)))
@@ -312,7 +338,11 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, key, endpoint string
 	endSolve := obs.StartSpan(tr, "serve.solve")
 	pprof.Do(ctx, pprof.Labels("endpoint", endpoint, "spec", shortKey(key), "stage", "solve"), func(ctx context.Context) {
 		mg.Ctx = ctx // the labeled ctx still carries trace ID and meter
-		a, err = m.Solve(core.SolveOptions{Multigrid: mg})
+		if backend == backendKron {
+			a, err = m.SolveKron(core.SolveOptions{Multigrid: mg})
+		} else {
+			a, err = m.Solve(core.SolveOptions{Multigrid: mg})
+		}
 	})
 	endSolve()
 	e.reg.Histogram("serve.solve_ms").Observe(ms(time.Since(solveStart)))
@@ -337,10 +367,20 @@ func (e *Engine) recordCost(ctx context.Context, meter *cost.Meter, endpoint, ke
 	rep.Endpoint = endpoint
 	rep.SpecKey = key
 	rep.Trace, rep.Parent = obs.TraceFromContext(ctx)
-	if m != nil && m.P != nil {
-		rep.States = m.NumStates()
-		rep.NNZ = m.P.NNZ()
-		rep.MatrixBytes = m.P.MemoryBytes()
+	if m != nil {
+		switch {
+		case m.P != nil:
+			rep.States = m.NumStates()
+			rep.NNZ = m.P.NNZ()
+			rep.MatrixBytes = m.P.MemoryBytes()
+		case m.Desc != nil:
+			// Matrix-free solve: NNZ and MatrixBytes describe the factor
+			// matrices actually resident — the numbers States is paid for
+			// with, not what an explicit assembly would have stored.
+			rep.States = m.NumStates()
+			rep.NNZ = int(m.Desc.NNZ())
+			rep.MatrixBytes = m.Desc.MemoryBytes()
+		}
 	}
 	if err != nil {
 		rep.Err = err.Error()
@@ -399,15 +439,32 @@ func analyzeBodyJSON(h string, m *core.Model, a *core.Analysis, start time.Time)
 // Analyze returns the stationary + BER body for spec, reporting whether
 // it was served from cache.
 func (e *Engine) Analyze(ctx context.Context, spec core.Spec) ([]byte, bool, error) {
+	return e.AnalyzeBackend(ctx, spec, "")
+}
+
+// AnalyzeBackend is Analyze with an explicit solve backend. The two
+// backends produce numerically matching bodies but are cached under
+// distinct keys ("analyze:" vs "analyze:kron:"): their solve_ms fields
+// differ by construction, and keeping the namespaces apart means a
+// backend comparison always exercises both paths instead of the second
+// request silently hitting the first one's entry.
+func (e *Engine) AnalyzeBackend(ctx context.Context, spec core.Spec, backend string) ([]byte, bool, error) {
+	if err := validBackend(backend); err != nil {
+		return nil, false, err
+	}
 	h, err := validate(spec)
 	if err != nil {
 		return nil, false, err
 	}
-	return e.cached(ctx, "analyze:"+h, func(ctx context.Context) ([]byte, error) {
+	key := "analyze:" + h
+	if backend == backendKron {
+		key = "analyze:kron:" + h
+	}
+	return e.cached(ctx, key, func(ctx context.Context) ([]byte, error) {
 		start := time.Now()
 		meter := cost.NewMeter()
 		ctx = cost.ContextWith(ctx, meter)
-		m, a, err := e.solve(ctx, spec, h, "analyze")
+		m, a, err := e.solve(ctx, spec, h, "analyze", backend)
 		defer func() { e.recordCost(ctx, meter, "analyze", h, m, err) }()
 		if err != nil {
 			return nil, err
@@ -437,7 +494,7 @@ func (e *Engine) Slip(ctx context.Context, spec core.Spec) ([]byte, bool, error)
 	return e.cached(ctx, "slip:"+h, func(ctx context.Context) ([]byte, error) {
 		meter := cost.NewMeter()
 		ctx = cost.ContextWith(ctx, meter)
-		m, a, err := e.solve(ctx, spec, h, "slip")
+		m, a, err := e.solve(ctx, spec, h, "slip", "")
 		defer func() { e.recordCost(ctx, meter, "slip", h, m, err) }()
 		if err != nil {
 			return nil, err

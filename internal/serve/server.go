@@ -216,8 +216,15 @@ func (s *Server) CancelJobs() { s.jobs.CancelAll() }
 // Handler returns the service mux wrapped in the tracing middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", s.handleSolve("analyze", s.engine.Analyze))
-	mux.HandleFunc("POST /v1/slip", s.handleSolve("slip", s.engine.Slip))
+	mux.HandleFunc("POST /v1/analyze", s.handleSolve("analyze", s.engine.AnalyzeBackend))
+	mux.HandleFunc("POST /v1/slip", s.handleSolve("slip", func(ctx context.Context, spec core.Spec, backend string) ([]byte, bool, error) {
+		// The slip endpoint's quasi-stationary refinement needs the
+		// explicit matrix; refuse the field rather than silently ignore it.
+		if backend != "" {
+			return nil, false, badRequestf("backend %q not supported on /v1/slip", backend)
+		}
+		return s.engine.Slip(ctx, spec)
+	}))
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
@@ -373,6 +380,11 @@ type solveRequest struct {
 	// Async enqueues the solve and answers 202 with a job ID for
 	// /v1/jobs/{id} polling instead of blocking.
 	Async bool `json:"async"`
+	// Backend selects the transition representation on /v1/analyze:
+	// "explicit" (or empty, the default) assembles the product TPM,
+	// "kron" solves matrix-free through the Kronecker descriptor.
+	// /v1/slip accepts only the default.
+	Backend string `json:"backend,omitempty"`
 }
 
 // syncTimeout resolves the synchronous deadline of a request: the
@@ -428,7 +440,7 @@ func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, run func(contex
 
 // handleSolve serves the shared analyze/slip shape: decode, validate,
 // then either enqueue (async) or solve under the request deadline.
-func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec) ([]byte, bool, error)) http.HandlerFunc {
+func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec, string) ([]byte, bool, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		defer s.reg.Timer("serve.http_" + name).Time()()
 		start := time.Now()
@@ -443,9 +455,9 @@ func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec)
 			return
 		}
 		if req.Async {
-			spec := req.Spec
+			spec, backend := req.Spec, req.Backend
 			s.enqueue(w, r, func(ctx context.Context) ([]byte, bool, error) {
-				return solve(ctx, spec)
+				return solve(ctx, spec, backend)
 			})
 			return
 		}
@@ -456,7 +468,7 @@ func (s *Server) handleSolve(name string, solve func(context.Context, core.Spec)
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
 		defer cancel()
-		body, cached, err := solve(ctx, req.Spec)
+		body, cached, err := solve(ctx, req.Spec, req.Backend)
 		if err != nil {
 			s.writeError(w, r, err)
 			return

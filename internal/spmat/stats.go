@@ -67,6 +67,18 @@ func (m *CSR) MemoryBytes() int64 {
 	return int64(len(m.rowPtr)+len(m.colIdx)+len(m.val)) * 8
 }
 
+// CountExternal attributes n matrix–vector products executed outside the
+// pool's own kernels — matrix-free operator backends (the Kron shuffle
+// products) run their multiplies themselves but account them here, so
+// the cost layer's SpMV counts and effective-bandwidth estimates cover
+// explicit and implicit solves alike. entries is the stored-entry
+// equivalent touched (e.g. kron.Descriptor.OpsPerMul per product);
+// start is when the kernel began. Nil-tolerant like the internal
+// counters, so unaccounted serial paths can call it unconditionally.
+func (p *Pool) CountExternal(n, entries int, start time.Time) {
+	p.countKernels(true, n, entries, start)
+}
+
 // countKernel records one kernel execution. spmv distinguishes products
 // from row sweeps.
 func (p *Pool) countKernel(spmv bool, nnz int, start time.Time) {
